@@ -1,0 +1,33 @@
+# OFC reproduction — convenience targets.
+
+GO ?= go
+
+.PHONY: all build test race vet bench repro scorecard clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# One benchmark per table/figure, headline quantities as metrics.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+repro:
+	$(GO) run ./cmd/ofc-bench -exp all
+
+scorecard:
+	$(GO) run ./cmd/ofc-bench -exp summary
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,217 @@
+// Command ofc-bench regenerates the paper's tables and figures and
+// prints them as text tables.
+//
+// Usage:
+//
+//	ofc-bench -exp all
+//	ofc-bench -exp fig7 -seed 3
+//	ofc-bench -exp table1 -quick
+//	ofc-bench -list
+//
+// Experiment ids follow DESIGN.md's per-experiment index: summary,
+// fig2, fig3, table1, benefit, fig5, fig6, maturation, fig7, fig7x5,
+// fig8, migration, fig9 (also prints fig10 and table2), macro24,
+// ablations, resilience, chunking.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ofc/internal/experiments"
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(seed int64, quick bool)
+}
+
+// emit renders a result table; -format csv swaps it for CSV output.
+var emit = func(t *experiments.Table) { fmt.Println(t) }
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (or 'all')")
+		seed   = flag.Int64("seed", 1, "random seed")
+		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		format = flag.String("format", "table", "output format: table | csv")
+	)
+	flag.Parse()
+	if *format == "csv" {
+		emit = func(t *experiments.Table) { fmt.Print(t.CSV()) }
+	}
+
+	exps := registry()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-11s %s\n", e.id, e.desc)
+		}
+		return
+	}
+	var chosen []experiment
+	if *exp == "all" {
+		chosen = exps
+	} else {
+		for _, e := range exps {
+			if e.id == *exp {
+				chosen = append(chosen, e)
+			}
+		}
+	}
+	if len(chosen) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+		os.Exit(1)
+	}
+	for _, e := range chosen {
+		start := time.Now()
+		e.run(*seed, *quick)
+		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func registry() []experiment {
+	exps := []experiment{
+		{"summary", "one-screen reproduction scorecard (paper vs measured)", func(seed int64, quick bool) {
+			emit(experiments.Summary(seed))
+		}},
+		{"fig2", "motivation: memory vs input size and sigma scatter", func(seed int64, quick bool) {
+			n := 500
+			if quick {
+				n = 100
+			}
+			tab := experiments.Figure2(n, seed)
+			// The full scatter is long; print summary bands.
+			fmt.Println(summarizeFig2(tab))
+		}},
+		{"fig3", "motivation: ETL split, S3-like vs Redis-like", func(seed int64, quick bool) {
+			tab, _ := experiments.Figure3(seed)
+			emit(tab)
+		}},
+		{"table1", "ML accuracy: 4 algorithms × {32,16,8} MB intervals", func(seed int64, quick bool) {
+			cfg := experiments.DefaultTable1Config()
+			cfg.Seed = seed
+			if quick {
+				cfg.SamplesPerFunction, cfg.Folds, cfg.ForestSize = 150, 4, 8
+			}
+			emit(experiments.Table1(cfg))
+		}},
+		{"benefit", "caching-benefit classifier precision/recall/F1", func(seed int64, quick bool) {
+			n := 400
+			if quick {
+				n = 150
+			}
+			tab, _ := experiments.CacheBenefit(n, seed)
+			emit(tab)
+		}},
+		{"fig5", "prediction-error distribution (J48, 16 MB)", func(seed int64, quick bool) {
+			n := 450
+			if quick {
+				n = 150
+			}
+			tab, _ := experiments.Figure5(n, seed)
+			emit(tab)
+		}},
+		{"fig6", "prediction latency (host time)", func(seed int64, quick bool) {
+			tab, _ := experiments.Figure6(450, seed)
+			emit(tab)
+		}},
+		{"maturation", "model maturation quickness", func(seed int64, quick bool) {
+			tab, _ := experiments.Maturation(seed)
+			emit(tab)
+		}},
+		{"fig7", "cache benefits: Swift/Redis/OFC{LH,M,RH} sweep", func(seed int64, quick bool) {
+			tab, _ := experiments.Figure7(quick, seed)
+			emit(tab)
+		}},
+		{"fig7x5", "Figure 7 replicated across 5 seeds (paper's averaging)", func(seed int64, quick bool) {
+			seeds := []int64{seed, seed + 1, seed + 2, seed + 3, seed + 4}
+			emit(experiments.Figure7Replicated(seeds))
+		}},
+		{"fig8", "cache down-scaling impact (Sc0–Sc3)", func(seed int64, quick bool) {
+			tab, _ := experiments.Figure8(seed)
+			emit(tab)
+		}},
+		{"migration", "optimized migration time vs aggregate size", func(seed int64, quick bool) {
+			tab, _ := experiments.MigrationSeries(seed)
+			emit(tab)
+		}},
+		{"fig9", "macro: 8 tenants × 3 profiles (plus fig10 + table2)", func(seed int64, quick bool) {
+			window := 30 * time.Minute
+			if quick {
+				window = 8 * time.Minute
+			}
+			tab, runs := experiments.Figure9(window, seed)
+			emit(tab)
+			emit(experiments.Figure10(runs))
+			emit(experiments.Table2(runs))
+		}},
+		{"macro24", "macro with 24 tenants (contention)", func(seed int64, quick bool) {
+			window := 30 * time.Minute
+			if quick {
+				window = 8 * time.Minute
+			}
+			tab, _, _ := experiments.Macro24(window, seed)
+			emit(tab)
+		}},
+		{"ablations", "design-choice ablations (write-back, migration, routing, bump)", func(seed int64, quick bool) {
+			emit(experiments.AblationWriteback(seed))
+			emit(experiments.AblationMigration(seed))
+			emit(experiments.AblationRouting(seed))
+			emit(experiments.AblationIntervalBump(seed))
+			emit(experiments.AblationKeepAlive(seed))
+			emit(experiments.AblationConsistency(seed))
+		}},
+		{"constants", "micro constants (§6.4/§7.2.1) measured end to end", func(seed int64, quick bool) {
+			emit(experiments.Constants(seed))
+		}},
+		{"resilience", "worker fail-stop + RAMCloud-style recovery", func(seed int64, quick bool) {
+			tab, _ := experiments.Resilience(seed)
+			emit(tab)
+		}},
+		{"chunking", "large-object striping extension (§6.1 future work)", func(seed int64, quick bool) {
+			tab, _ := experiments.ChunkingExtension(seed)
+			emit(tab)
+		}},
+	}
+	sort.SliceStable(exps, func(i, j int) bool { return false }) // keep declaration order
+	return exps
+}
+
+// summarizeFig2 compresses the scatter into per-band min/max rows.
+func summarizeFig2(tab *experiments.Table) string {
+	type band struct{ lo, hi int64 }
+	var sb strings.Builder
+	sb.WriteString("== Figure 2 — wand_blur memory bands ==\n")
+	sb.WriteString("(full scatter: run the Figure2 API; summary below)\n")
+	bands := []struct {
+		name     string
+		from, to float64
+	}{
+		{"size < 1MB", 0, 1 << 20}, {"1–3MB", 1 << 20, 3 << 20}, {"3–6MB", 3 << 20, 6 << 20},
+	}
+	for _, bd := range bands {
+		b := band{lo: 1 << 62, hi: 0}
+		for _, row := range tab.Rows {
+			var size float64
+			var mem int64
+			fmt.Sscan(row[0], &size)
+			fmt.Sscan(row[2], &mem)
+			if size >= bd.from && size < bd.to {
+				if mem < b.lo {
+					b.lo = mem
+				}
+				if mem > b.hi {
+					b.hi = mem
+				}
+			}
+		}
+		fmt.Fprintf(&sb, "%-12s memory %d..%d MB\n", bd.name, b.lo, b.hi)
+	}
+	return sb.String()
+}

@@ -1,0 +1,128 @@
+// Command ofc-ml is the offline machine-learning workbench (the
+// repository's equivalent of the paper artifact's machine-learning
+// folder): generate per-function training datasets as CSV, train and
+// evaluate J48 models, and save/load them in the Predictor wire format.
+//
+// Usage:
+//
+//	ofc-ml -cmd gen   -fn wand_blur -n 450 -data blur.csv
+//	ofc-ml -cmd train -fn wand_blur -data blur.csv -model blur.json
+//	ofc-ml -cmd eval  -fn wand_blur -data blur.csv -model blur.json
+//	ofc-ml -cmd bench -fn wand_blur -data blur.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"ofc/internal/core"
+	"ofc/internal/mltree"
+	"ofc/internal/objstore"
+	"ofc/internal/workload"
+)
+
+func main() {
+	var (
+		cmd   = flag.String("cmd", "gen", "gen | train | eval | bench")
+		fname = flag.String("fn", "wand_blur", "one of the 19 function names")
+		n     = flag.Int("n", 450, "samples to generate")
+		data  = flag.String("data", "dataset.csv", "dataset CSV path")
+		model = flag.String("model", "model.json", "model JSON path")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	spec := workload.SpecByName(*fname)
+	if spec == nil {
+		fatalf("unknown function %q; see workload.Specs()", *fname)
+	}
+	su := workload.NewSuite()
+	fn := su.Build(spec, "ml", 0)
+	schema := core.NewFeatureSchema(fn)
+	iv := core.DefaultIntervals()
+
+	switch *cmd {
+	case "gen":
+		rng := rand.New(rand.NewSource(*seed))
+		sizes := map[string][]int64{
+			"image": {1 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 1 << 20, 3 << 20},
+			"audio": {256 << 10, 1 << 20, 4 << 20, 8 << 20},
+			"video": {2 << 20, 5 << 20, 8 << 20},
+			"text":  {512 << 10, 2 << 20, 5 << 20, 10 << 20},
+		}[spec.InputType]
+		if sizes == nil {
+			sizes = []int64{64 << 10, 1 << 20}
+		}
+		pool := workload.NewInputPool(rng, spec.InputType, "ml/"+spec.Name, sizes, 4)
+		samples := workload.TrainingSamples(spec, fn, pool, *n, rng, objstore.SwiftProfile())
+		d := mltree.NewDataset(schema.Attributes(), iv.ClassNames())
+		for _, s := range samples {
+			d.Add(s.Vals, iv.ClassOf(s.PeakMem))
+		}
+		f, err := os.Create(*data)
+		check(err)
+		check(d.WriteCSV(f))
+		check(f.Close())
+		fmt.Printf("wrote %d samples for %s to %s (%d features, %d classes)\n",
+			d.Len(), spec.Name, *data, len(schema.Names()), len(d.Classes))
+
+	case "train":
+		d := loadCSV(*data, schema, iv)
+		conf := mltree.CrossValidate(mltree.NewJ48(), d, 10, *seed)
+		tree := mltree.NewJ48().Fit(d).(*mltree.Tree)
+		raw, err := mltree.MarshalTree(tree)
+		check(err)
+		check(os.WriteFile(*model, raw, 0o644))
+		fmt.Printf("trained J48 on %d samples: %s\n", d.Len(), tree)
+		fmt.Printf("10-fold CV: exact=%.2f%% exact-or-over=%.2f%% under-within-1=%.2f%%\n",
+			conf.Accuracy()*100, conf.EOAccuracy()*100, conf.UnderWithinOne()*100)
+		fmt.Printf("model written to %s (%d bytes)\n", *model, len(raw))
+
+	case "eval":
+		d := loadCSV(*data, schema, iv)
+		raw, err := os.ReadFile(*model)
+		check(err)
+		tree, err := mltree.UnmarshalTree(raw)
+		check(err)
+		conf := mltree.Evaluate(tree, d)
+		fmt.Printf("evaluated %s on %d samples: exact=%.2f%% exact-or-over=%.2f%%\n",
+			*model, d.Len(), conf.Accuracy()*100, conf.EOAccuracy()*100)
+
+	case "bench":
+		d := loadCSV(*data, schema, iv)
+		tree := mltree.NewJ48().Fit(d).(*mltree.Tree)
+		const reps = 100000
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			tree.Classify(d.Instances[i%d.Len()].Vals)
+		}
+		per := time.Since(start) / reps
+		fmt.Printf("J48 classification: %v per prediction (%d reps, tree %s)\n", per, reps, tree)
+
+	default:
+		fatalf("unknown -cmd %q", *cmd)
+	}
+}
+
+func loadCSV(path string, schema *core.FeatureSchema, iv core.Intervals) *mltree.Dataset {
+	f, err := os.Open(path)
+	check(err)
+	defer f.Close()
+	d, err := mltree.ReadCSV(f, schema.Attributes(), iv.ClassNames())
+	check(err)
+	return d
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

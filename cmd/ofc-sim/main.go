@@ -1,0 +1,94 @@
+// Command ofc-sim runs an ad-hoc macro scenario: a chosen number of
+// tenants firing the paper's workload mix at a FaaS deployment, with
+// or without OFC, and prints per-tenant results plus OFC internals.
+//
+// Usage:
+//
+//	ofc-sim -mode ofc -tenants 8 -window 30m -profile normal
+//	ofc-sim -mode swift -tenants 24 -window 10m -mean 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ofc/internal/experiments"
+	"ofc/internal/workload"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "ofc", "system under test: ofc | swift")
+		tenants  = flag.Int("tenants", 8, "tenant count (multiple of 8)")
+		window   = flag.Duration("window", 10*time.Minute, "observation window (virtual time)")
+		mean     = flag.Duration("mean", time.Minute, "mean invocation interval")
+		profile  = flag.String("profile", "normal", "tenant memory profile: normal | naive | advanced")
+		capacity = flag.Int64("capacity", 256<<30, "per-worker memory capacity (bytes)")
+		seed     = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultMacroConfig()
+	cfg.Window = *window
+	cfg.MeanInterval = *mean
+	cfg.Seed = *seed
+	cfg.NodeCapacity = *capacity
+	cfg.TenantsPerWorkload = *tenants / 8
+	if cfg.TenantsPerWorkload < 1 {
+		cfg.TenantsPerWorkload = 1
+	}
+	switch *mode {
+	case "ofc":
+		cfg.Mode = experiments.ModeOFC
+	case "swift":
+		cfg.Mode = experiments.ModeSwift
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	switch *profile {
+	case "normal":
+		cfg.Profile = workload.ProfileNormal
+	case "naive":
+		cfg.Profile = workload.ProfileNaive
+	case "advanced":
+		cfg.Profile = workload.ProfileAdvanced
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res := experiments.RunMacro(cfg)
+	host := time.Since(start)
+
+	fmt.Printf("mode=%s tenants=%d window=%v profile=%s (host time %v)\n\n",
+		*mode, cfg.TenantsPerWorkload*8, cfg.Window, cfg.Profile, host.Round(time.Millisecond))
+	fmt.Printf("%-22s %12s %10s %8s %8s %8s\n", "tenant", "invocations", "total", "E", "T", "L")
+	for _, r := range res.Reports {
+		fmt.Printf("%-22s %12d %10.2fs %7.1fs %7.1fs %7.1fs\n",
+			r.Name, r.Invocations, r.TotalExec.Seconds(), r.TotalE.Seconds(), r.TotalT.Seconds(), r.TotalL.Seconds())
+	}
+	fmt.Printf("\ntotal execution time: %.2fs\n", res.TotalExec().Seconds())
+	fmt.Printf("platform: invocations=%d cold=%d warm=%d oom=%d rescues=%d failures=%d\n",
+		res.Platform.Invocations, res.Platform.ColdStarts, res.Platform.WarmStarts,
+		res.Platform.OOMKills, res.Platform.Rescues, res.Platform.Failures)
+	if cfg.Mode == experiments.ModeOFC {
+		fmt.Printf("ofc: hit-ratio=%.2f%% good-pred=%d bad-pred=%d ephemeral=%.2fGB\n",
+			res.HitRatio*100, res.GoodPred, res.BadPred, float64(res.Ephemeral)/float64(1<<30))
+		fmt.Printf("agents: scale-ups=%d scale-downs=%d/%d/%d (none/migration/eviction)\n",
+			res.Agent.ScaleUps, res.Agent.ScaleDownNoEviction, res.Agent.ScaleDownMigration, res.Agent.ScaleDownEviction)
+		if n := len(res.CacheSeries); n > 0 {
+			var peak int64
+			for _, p := range res.CacheSeries {
+				if p.Bytes > peak {
+					peak = p.Bytes
+				}
+			}
+			fmt.Printf("cache: %d samples, peak %.2fGB, final %.2fGB\n",
+				n, float64(peak)/float64(1<<30), float64(res.CacheSeries[n-1].Bytes)/float64(1<<30))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Command ofc-wsk is a wsk-flavored explorer for the simulated
+// platform: it deploys one of the catalog functions onto a fresh OFC
+// stack, fires a few invocations, and prints the activation records —
+// the `wsk action invoke` / `wsk activation list` loop, compressed
+// into one run.
+//
+// Usage:
+//
+//	ofc-wsk -list
+//	ofc-wsk -action wand_blur -size 64k -repeat 3
+//	ofc-wsk -action wand_edge -size 16k -repeat 2 -nocache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"ofc"
+	"ofc/internal/workload"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list catalog functions and exit")
+		action  = flag.String("action", "wand_blur", "catalog function to deploy")
+		sizeStr = flag.String("size", "64k", "input size (e.g. 16k, 1m)")
+		repeat  = flag.Int("repeat", 3, "number of invocations")
+		nocache = flag.Bool("nocache", false, "disable OFC advice (vanilla sizing, no caching)")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-20s %-6s %-10s %s\n", "name", "type", "booked", "args")
+		for _, s := range ofc.Specs() {
+			fmt.Printf("%-20s %-6s %-10s %s\n", s.Name, s.InputType,
+				fmt.Sprintf("%dMB", s.Booked>>20), strings.Join(s.ArgNames, ","))
+		}
+		return
+	}
+
+	size, err := parseSize(*sizeStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	spec := ofc.SpecByName(*action)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown action %q; try -list\n", *action)
+		os.Exit(1)
+	}
+
+	sys := ofc.NewSystem(ofc.DefaultOptions())
+	su := workload.NewSuite()
+	rng := rand.New(rand.NewSource(*seed))
+	fn := su.Build(spec, "wsk", 0)
+	sys.Register(fn)
+	pool := workload.NewInputPool(rng, spec.InputType, "wsk", []int64{size}, 2)
+	if *nocache {
+		sys.Platform.Advisor = nil
+	} else {
+		sys.Trainer.Pretrain(fn, workload.TrainingSamples(spec, fn, pool, 300, rng, sys.RSDS.Profile()))
+	}
+
+	sys.Run(func() {
+		pool.Stage(workload.RSDSWriter{Suite: su, Store: sys.RSDS, Node: sys.CtrlNode})
+		for i := 0; i < *repeat; i++ {
+			in := pool.Inputs[i%len(pool.Inputs)]
+			sys.Platform.Invoke(workload.NewRequest(fn, spec, in, spec.GenArgs(rng)))
+			sys.Env.Sleep(time.Second)
+		}
+	})
+
+	fmt.Printf("deployed %s (input %s, OFC advice %v)\n\n", spec.Name, *sizeStr, !*nocache)
+	fmt.Printf("%-14s %-22s %-10s %-10s %-10s %-10s %-6s %s\n",
+		"activation", "function", "duration", "E", "T", "L", "cold", "sandbox")
+	for _, a := range sys.Platform.Activations(0) {
+		fmt.Printf("%-14s %-22s %-10v %-10v %-10v %-10v %-6v %dMB\n",
+			a.ID, a.Function, a.Duration.Round(time.Millisecond),
+			a.Extract.Round(time.Microsecond), a.Transform.Round(time.Millisecond),
+			a.Load.Round(time.Microsecond), a.Cold, a.SandboxMemMB)
+	}
+	fmt.Printf("\ncache: hit-ratio=%.1f%%  stats=%+v\n", sys.RC.HitRatio()*100, sys.RC.Stats())
+}
+
+// parseSize reads "64k", "1m", "512" style sizes.
+func parseSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "m")
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "k")
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

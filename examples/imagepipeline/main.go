@@ -1,0 +1,61 @@
+// Imagepipeline: run the ServerlessBench thumbnail-generation pipeline
+// (extract metadata → transform → thumbnail → upload) twice on OFC and
+// show how cached inputs and intermediates collapse the Extract and
+// Load phases (the paper's Figure 7j scenario).
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ofc/internal/experiments"
+	"ofc/internal/workload"
+)
+
+func main() {
+	d := experiments.NewDeployment(experiments.ModeOFC, experiments.DefaultDeploy())
+	pl := workload.NewImageProcessing(d.Suite, "studio", workload.ProfileNormal, 2<<30)
+	for _, fn := range pl.Funcs {
+		d.Register(fn)
+	}
+	pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rand.New(rand.NewSource(1)))
+
+	rng := rand.New(rand.NewSource(2))
+	pool := workload.NewInputPool(rng, "image", "shoot", []int64{512 << 10}, 1)
+
+	d.Run(func() {
+		in := pool.Inputs[0]
+		pl.StageInput(d.Writer, in)
+
+		first := pl.Run(d.Platform, in, "run-1")
+		if first.Err != nil {
+			panic(first.Err)
+		}
+		d.Env.Sleep(2 * time.Second)
+		second := pl.Run(d.Platform, in, "run-2")
+		if second.Err != nil {
+			panic(second.Err)
+		}
+
+		show := func(label string, r *workload.PipelineResult) {
+			e, t, l := r.Phases()
+			fmt.Printf("%-22s E=%-10v T=%-10v L=%-10v wall=%v\n", label, e.Round(time.Millisecond),
+				t.Round(time.Millisecond), l.Round(time.Millisecond), r.Duration().Round(time.Millisecond))
+			for i, sr := range r.Results {
+				fmt.Printf("  stage %d on node %v: E=%v T=%v L=%v\n",
+					i+1, sr.Node, sr.Extract.Round(time.Microsecond),
+					sr.Transform.Round(time.Millisecond), sr.Load.Round(time.Microsecond))
+			}
+		}
+		show("first run (cold cache):", first)
+		fmt.Println()
+		show("second run (warm):", second)
+
+		stats := d.Sys.RC.Stats()
+		fmt.Printf("\nproxy: hits=%d (local %d) misses=%d write-backs=%d\n",
+			stats.Hits, stats.LocalHits, stats.Misses, stats.WriteBacks)
+	})
+}

@@ -1,0 +1,99 @@
+// Tracereplay: replay a production-style invocation trace (one offset
+// per line, seconds) against an OFC deployment — the workflow the
+// paper motivates with the Azure Functions characterization (Shahrad
+// et al.): bursty, irregular arrivals that keep-alive alone handles
+// poorly and OFC's hoarded memory absorbs.
+//
+//	go run ./examples/tracereplay
+//	go run ./examples/tracereplay -trace my.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"ofc"
+	"ofc/internal/workload"
+)
+
+// builtinTrace is a bursty synthetic trace: two dense bursts separated
+// by a quiet period.
+const builtinTrace = `# burst 1
+5
+5.4
+6.1
+6.2
+7.0
+8.5
+# quiet ...
+95
+# burst 2
+180
+180.2
+181
+181.5
+182
+183
+184.5
+186
+`
+
+func main() {
+	tracePath := flag.String("trace", "", "trace CSV (one offset in seconds per line); empty uses a built-in bursty trace")
+	flag.Parse()
+
+	var offsets []time.Duration
+	var err error
+	if *tracePath == "" {
+		offsets, err = workload.LoadTraceCSV(strings.NewReader(builtinTrace))
+	} else {
+		var f *os.File
+		if f, err = os.Open(*tracePath); err == nil {
+			defer f.Close()
+			offsets, err = workload.LoadTraceCSV(f)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	sys := ofc.NewSystem(ofc.DefaultOptions())
+	su := workload.NewSuite()
+	rng := rand.New(rand.NewSource(1))
+	spec := ofc.SpecByName("wand_watermark")
+	fn := su.Build(spec, "trace", 0)
+	sys.Register(fn)
+	pool := workload.NewInputPool(rng, "image", "trace", []int64{32 << 10, 64 << 10}, 3)
+	sys.Trainer.Pretrain(fn, workload.TrainingSamples(spec, fn, pool, 300, rng, sys.RSDS.Profile()))
+
+	fl := workload.NewFaaSLoad(sys.Env, sys.Platform, 2)
+	fl.AddTraceTenant("trace", spec, fn, pool, offsets)
+
+	window := offsets[len(offsets)-1] + time.Minute
+	sys.Env.SetHorizon(window + time.Minute)
+	sys.Start()
+	sys.Env.Go(func() {
+		pool.Stage(workload.RSDSWriter{Suite: su, Store: sys.RSDS, Node: sys.CtrlNode})
+		fl.Start(window)
+	})
+	sys.Env.Run()
+
+	rep := fl.Reports()[0]
+	fmt.Printf("replayed %d invocations over %v (virtual)\n", rep.Invocations, window.Round(time.Second))
+	fmt.Printf("cold starts: %d   failures: %d\n", rep.ColdStarts, rep.Failures)
+	fmt.Printf("phases: E=%v T=%v L=%v   total exec=%v\n",
+		rep.TotalE.Round(time.Millisecond), rep.TotalT.Round(time.Millisecond),
+		rep.TotalL.Round(time.Millisecond), rep.TotalExec.Round(time.Millisecond))
+	fmt.Printf("cache: hit ratio %.1f%%\n", sys.RC.HitRatio()*100)
+
+	fmt.Println("\nmost recent activations:")
+	for _, a := range sys.Platform.Activations(6) {
+		fmt.Printf("  %s %-16s start=%-8v dur=%-10v cold=%-5v E=%v\n",
+			a.ID, a.Function, a.Start.Round(time.Millisecond), a.Duration.Round(time.Millisecond), a.Cold, a.Extract.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,62 @@
+// Triggers: watch a bucket prefix and invoke a function on every
+// external upload — the "updates within a given object storage bucket"
+// trigger of §2.1, including the §5.1.2 synchronous feature extraction
+// this path requires (the object was never seen before, so its
+// features can't come from a sidecar).
+//
+//	go run ./examples/triggers
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ofc"
+	"ofc/internal/core"
+	"ofc/internal/workload"
+)
+
+func main() {
+	sys := ofc.NewSystem(ofc.DefaultOptions())
+	su := workload.NewSuite()
+	rng := rand.New(rand.NewSource(1))
+
+	spec := ofc.SpecByName("sharp_resize")
+	thumb := su.Build(spec, "studio", 0)
+	sys.Register(thumb)
+	pool := workload.NewInputPool(rng, "image", "warm", []int64{64 << 10, 256 << 10}, 3)
+	sys.Trainer.Pretrain(thumb, workload.TrainingSamples(spec, thumb, pool, 300, rng, sys.RSDS.Profile()))
+
+	// The extractor stands in for decoding the uploaded image's header.
+	frng := rand.New(rand.NewSource(7))
+	triggers := core.NewTriggers(sys, func(key string, size int64) map[string]float64 {
+		f := workload.GenFeatures(frng, "image", size)
+		su.RegisterObject(key, f)
+		return f
+	})
+	triggers.Register("uploads/", thumb, map[string]float64{"width": 256})
+
+	sys.Run(func() {
+		// An external (non-FaaS) client drops images into the bucket.
+		for i, size := range []int64{48 << 10, 96 << 10, 200 << 10} {
+			key := fmt.Sprintf("uploads/photo-%d.jpg", i)
+			sys.RSDS.Put(sys.StorageNode, key, ofc.Blob{Size: size}, nil, true)
+			sys.Env.Sleep(3 * time.Second)
+		}
+		sys.Env.Sleep(5 * time.Second)
+	})
+
+	fmt.Printf("triggers fired: %d\n\n", triggers.Fired())
+	fmt.Println("activations (newest first):")
+	for _, a := range sys.Platform.Activations(0) {
+		fmt.Printf("  %s %-20s dur=%-10v E=%-10v cold=%v\n",
+			a.ID, a.Function, a.Duration.Round(time.Millisecond),
+			a.Extract.Round(time.Millisecond), a.Cold)
+	}
+	fmt.Println("\nresized outputs persisted to the store:")
+	for _, key := range sys.RSDS.List("out/studio/") {
+		m, _ := sys.RSDS.MetaOf(key)
+		fmt.Printf("  %s (%d bytes, shadow=%v)\n", key, m.Size, m.IsShadow())
+	}
+}

@@ -1,0 +1,3 @@
+module ofc
+
+go 1.22

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// CacheAgentConfig tunes the per-node agent (§6.3, §6.4).
+type CacheAgentConfig struct {
+	// InitialSlack is the provisioned slack pool (paper: 100 MB).
+	InitialSlack int64
+	// SlackAdjustEvery and ChurnSampleEvery drive the sliding-window
+	// slack estimation (paper: 120 s and 60 s).
+	SlackAdjustEvery time.Duration
+	ChurnSampleEvery time.Duration
+	// ChurnWindow is the number of samples in the sliding window.
+	ChurnWindow int
+	MinSlack    int64
+	MaxSlack    int64
+	// EvictionEvery is the periodic eviction cadence (paper: 300 s).
+	EvictionEvery time.Duration
+	// MinAccess and MaxIdle are the §6.3 eviction criteria
+	// (n_access < 5 or idle > 30 min).
+	MinAccess int64
+	MaxIdle   time.Duration
+	// GrowEvery is the background growth cadence (growth also runs
+	// after every completed invocation on the node).
+	GrowEvery time.Duration
+	// PoolReconfigTime is the asynchronous RAMCloud memory-pool
+	// reconfiguration cost per scaling operation (off the critical
+	// path; Table 2 sums it).
+	PoolReconfigTime time.Duration
+	// ShrinkBaseNoEvict and ShrinkBaseEvict are the critical-path
+	// costs of a cache shrink without data movement (Figure 8 Sc1:
+	// ≈289 µs) and of an eviction-based shrink (Sc3: ≈373 µs).
+	ShrinkBaseNoEvict time.Duration
+	ShrinkBaseEvict   time.Duration
+}
+
+// DefaultCacheAgentConfig returns the paper's parameters.
+func DefaultCacheAgentConfig() CacheAgentConfig {
+	return CacheAgentConfig{
+		InitialSlack:      100 << 20,
+		SlackAdjustEvery:  120 * time.Second,
+		ChurnSampleEvery:  60 * time.Second,
+		ChurnWindow:       5,
+		MinSlack:          64 << 20,
+		MaxSlack:          1 << 30,
+		EvictionEvery:     300 * time.Second,
+		MinAccess:         5,
+		MaxIdle:           30 * time.Minute,
+		GrowEvery:         5 * time.Second,
+		PoolReconfigTime:  300 * time.Millisecond,
+		ShrinkBaseNoEvict: 289 * time.Microsecond,
+		ShrinkBaseEvict:   373 * time.Microsecond,
+	}
+}
+
+// AgentMetrics are the per-agent counters behind Table 2.
+type AgentMetrics struct {
+	ScaleUps            int64
+	ScaleUpTime         time.Duration
+	ScaleDownNoEviction int64
+	ScaleDownMigration  int64
+	ScaleDownEviction   int64
+	ScaleDownTime       time.Duration
+	PeriodicEvictions   int64
+	ReclaimFailures     int64
+}
+
+// CacheAgent manages one worker node's share of the cache (§6.4): it
+// hoards unused memory into the cache, shrinks the cache under sandbox
+// pressure (outputs first, then LRU inputs with
+// migration-by-promotion), maintains the slack pool, and applies the
+// §6.3 periodic eviction policy.
+type CacheAgent struct {
+	env  *sim.Env
+	node simnet.NodeID
+	inv  *faas.Invoker
+	kv   *kvstore.Cluster
+	rc   *RCLib
+	cfg  CacheAgentConfig
+
+	mu           sync.Mutex
+	slack        int64
+	lastReserved int64
+	churn        []int64
+	metrics      AgentMetrics
+}
+
+// NewCacheAgent builds the agent for one node.
+func NewCacheAgent(env *sim.Env, inv *faas.Invoker, kv *kvstore.Cluster, rc *RCLib, cfg CacheAgentConfig) *CacheAgent {
+	return &CacheAgent{
+		env: env, node: inv.Node(), inv: inv, kv: kv, rc: rc, cfg: cfg,
+		slack: cfg.InitialSlack, lastReserved: inv.Reserved(),
+	}
+}
+
+// Node returns the agent's node.
+func (a *CacheAgent) Node() simnet.NodeID { return a.node }
+
+// Slack returns the current slack pool size.
+func (a *CacheAgent) Slack() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.slack
+}
+
+// Metrics returns a snapshot of the agent counters.
+func (a *CacheAgent) Metrics() AgentMetrics {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.metrics
+}
+
+// Start arms the periodic loops: growth, slack maintenance, periodic
+// eviction. It also performs the initial grant.
+func (a *CacheAgent) Start() {
+	a.Grow()
+	a.env.Every(a.cfg.GrowEvery, func() bool {
+		a.Grow()
+		return true
+	})
+	a.env.Every(a.cfg.ChurnSampleEvery, func() bool {
+		a.sampleChurn()
+		return true
+	})
+	a.env.Every(a.cfg.SlackAdjustEvery, func() bool {
+		a.adjustSlack()
+		return true
+	})
+	a.env.Every(a.cfg.EvictionEvery, func() bool {
+		a.periodicEviction()
+		return true
+	})
+}
+
+// Grow rebalances the cache grant to the node's current entitlement:
+// the memory booked-but-unused by live sandboxes (§1, §6.4), bounded
+// by the physically free memory minus the slack pool. Sandbox churn
+// moves the entitlement in both directions, so this both grows and
+// shrinks the cache — the scale-up/scale-down events of Table 2.
+// Called at every placement, after every completion and periodically.
+func (a *CacheAgent) Grow() {
+	a.mu.Lock()
+	slack := a.slack
+	a.mu.Unlock()
+	target := a.inv.BookedWaste()
+	if free := a.inv.Capacity() - a.inv.Reserved() - slack; target > free {
+		target = free
+	}
+	if target < 0 {
+		target = 0
+	}
+	cur := a.inv.CacheGrant()
+	const hysteresis = 1 << 20
+	switch {
+	case target > cur+hysteresis:
+		granted := a.inv.SetCacheGrant(target)
+		a.kv.SetMemoryLimit(a.node, granted)
+		a.mu.Lock()
+		a.metrics.ScaleUps++
+		a.metrics.ScaleUpTime += a.cfg.PoolReconfigTime
+		a.mu.Unlock()
+	case target < cur-hysteresis:
+		// Shrink the grant; free cached data first if usage exceeds
+		// the new target.
+		used, _ := a.kv.Server(a.node).Usage()
+		migrated, evicted := 0, 0
+		if used > target {
+			migrated, evicted = a.freeBytes(used - target)
+		}
+		granted := a.inv.SetCacheGrant(target)
+		a.kv.SetMemoryLimit(a.node, granted)
+		a.mu.Lock()
+		switch {
+		case migrated > 0:
+			a.metrics.ScaleDownMigration++
+		case evicted > 0:
+			a.metrics.ScaleDownEviction++
+		default:
+			a.metrics.ScaleDownNoEviction++
+		}
+		a.metrics.ScaleDownTime += a.cfg.PoolReconfigTime
+		a.mu.Unlock()
+	default:
+		return
+	}
+	// RAMCloud pool reconfiguration happens off the critical path.
+	a.env.Go(func() { a.env.Sleep(a.cfg.PoolReconfigTime) })
+}
+
+// freeBytes frees at least toFree bytes of cached data: clean final
+// outputs first, then LRU inputs by migration-by-promotion, eviction
+// as last resort; dirty objects get asynchronous write-backs.
+func (a *CacheAgent) freeBytes(toFree int64) (migrated, evicted int) {
+	objs := a.kv.Objects(a.node)
+	for _, o := range objs {
+		if toFree <= 0 {
+			break
+		}
+		if o.Meta.Tags["kind"] == "final" && o.Meta.Tags["dirty"] != "1" {
+			if a.kv.Evict(o.Key) == nil {
+				toFree -= o.Meta.Size
+				evicted++
+			}
+		}
+	}
+	if toFree <= 0 {
+		return
+	}
+	var inputs []kvstore.ObjectInfo
+	for _, o := range objs {
+		switch {
+		case o.Meta.Tags["dirty"] == "1":
+			key := o.Key
+			a.env.Go(func() { a.rc.WriteBackNow(a.node, key) })
+		case o.Meta.Tags["kind"] == "input" || o.Meta.Tags["kind"] == "intermediate":
+			inputs = append(inputs, o)
+		}
+	}
+	sort.Slice(inputs, func(i, j int) bool {
+		return inputs[i].Meta.LastAccess < inputs[j].Meta.LastAccess
+	})
+	for _, o := range inputs {
+		if toFree <= 0 {
+			break
+		}
+		if a.kv.MigrateToBackup(o.Key) == nil {
+			toFree -= o.Meta.Size
+			migrated++
+			continue
+		}
+		if a.kv.Evict(o.Key) == nil {
+			toFree -= o.Meta.Size
+			evicted++
+		}
+	}
+	return
+}
+
+// sampleChurn records the sandbox-memory movement since the last
+// sample.
+func (a *CacheAgent) sampleChurn() {
+	cur := a.inv.Reserved()
+	a.mu.Lock()
+	delta := cur - a.lastReserved
+	if delta < 0 {
+		delta = -delta
+	}
+	a.lastReserved = cur
+	a.churn = append(a.churn, delta)
+	if len(a.churn) > a.cfg.ChurnWindow {
+		a.churn = a.churn[1:]
+	}
+	a.mu.Unlock()
+}
+
+// adjustSlack sets the slack pool from the churn sliding window (§6.4).
+func (a *CacheAgent) adjustSlack() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.churn) == 0 {
+		return
+	}
+	var max int64
+	for _, c := range a.churn {
+		if c > max {
+			max = c
+		}
+	}
+	s := max
+	if s < a.cfg.MinSlack {
+		s = a.cfg.MinSlack
+	}
+	if s > a.cfg.MaxSlack {
+		s = a.cfg.MaxSlack
+	}
+	a.slack = s
+}
+
+// errReclaim is returned when the agent cannot free enough memory.
+var errReclaim = errors.New("core: cache reclaim failed")
+
+// Reclaim implements the §6.4 fast-reclamation path, invoked by the
+// platform (as MemoryGovernor) when a sandbox needs memory the cache
+// holds. Order: free grant first, then persisted outputs, then LRU
+// inputs via migration-by-promotion, then eviction. Dirty outputs get
+// their write-back triggered asynchronously. Returns the critical-path
+// time spent.
+func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
+	start := a.env.Now()
+	grant := a.inv.CacheGrant()
+	if grant < need {
+		a.mu.Lock()
+		a.metrics.ReclaimFailures++
+		a.mu.Unlock()
+		return 0, errReclaim
+	}
+	used, _ := a.kv.Server(a.node).Usage()
+	freeInGrant := grant - used
+
+	migrated, evicted := 0, 0
+	if freeInGrant < need {
+		toFree := need - freeInGrant
+		migrated, evicted = a.freeBytes(toFree)
+		used2, _ := a.kv.Server(a.node).Usage()
+		if grant-used2 < need {
+			a.mu.Lock()
+			a.metrics.ReclaimFailures++
+			a.mu.Unlock()
+			return time.Duration(a.env.Now() - start), errReclaim
+		}
+	}
+
+	// Charge the scaling base cost for the scenario (Figure 8).
+	switch {
+	case migrated > 0:
+		// Promotion time was already charged by MigrateToBackup.
+	case evicted > 0:
+		a.env.Sleep(a.cfg.ShrinkBaseEvict)
+	default:
+		a.env.Sleep(a.cfg.ShrinkBaseNoEvict)
+	}
+
+	newGrant := a.inv.SetCacheGrant(grant - need)
+	a.kv.SetMemoryLimit(a.node, newGrant)
+
+	took := time.Duration(a.env.Now() - start)
+	a.mu.Lock()
+	switch {
+	case migrated > 0:
+		a.metrics.ScaleDownMigration++
+	case evicted > 0:
+		a.metrics.ScaleDownEviction++
+	default:
+		a.metrics.ScaleDownNoEviction++
+	}
+	a.metrics.ScaleDownTime += a.cfg.PoolReconfigTime
+	a.mu.Unlock()
+	// Asynchronous pool reconfiguration, as for growth.
+	a.env.Go(func() { a.env.Sleep(a.cfg.PoolReconfigTime) })
+	return took, nil
+}
+
+// periodicEviction applies §6.3: every EvictionEvery, evict objects
+// with n_access < MinAccess or idle longer than MaxIdle. Only objects
+// older than one eviction period are considered, so fresh admissions
+// survive their first window. Dirty objects are written back first.
+func (a *CacheAgent) periodicEviction() {
+	now := a.env.Now()
+	for _, o := range a.kv.Objects(a.node) {
+		age := now - o.Meta.Created
+		if age < a.cfg.EvictionEvery {
+			continue
+		}
+		idle := now - o.Meta.LastAccess
+		if o.Meta.NAccess >= a.cfg.MinAccess && idle <= a.cfg.MaxIdle {
+			continue
+		}
+		key := o.Key
+		if o.Meta.Tags["dirty"] == "1" {
+			a.env.Go(func() {
+				if a.rc.WriteBackNow(a.node, key) {
+					a.kv.Evict(key)
+				}
+			})
+			continue
+		}
+		if a.kv.Evict(key) == nil {
+			a.mu.Lock()
+			a.metrics.PeriodicEvictions++
+			a.mu.Unlock()
+		}
+	}
+}
+
+// Governor adapts a set of agents to the faas.MemoryGovernor interface.
+type Governor struct {
+	mu     sync.Mutex
+	agents map[simnet.NodeID]*CacheAgent
+}
+
+// NewGovernor returns an empty governor; add agents with Add.
+func NewGovernor() *Governor {
+	return &Governor{agents: make(map[simnet.NodeID]*CacheAgent)}
+}
+
+// Add registers an agent.
+func (g *Governor) Add(a *CacheAgent) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.agents[a.Node()] = a
+}
+
+// Agent returns the agent on node, or nil.
+func (g *Governor) Agent(node simnet.NodeID) *CacheAgent {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.agents[node]
+}
+
+// Reclaim implements faas.MemoryGovernor.
+func (g *Governor) Reclaim(node simnet.NodeID, need int64) (time.Duration, error) {
+	a := g.Agent(node)
+	if a == nil {
+		return 0, errReclaim
+	}
+	return a.Reclaim(need)
+}

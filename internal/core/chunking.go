@@ -1,0 +1,181 @@
+package core
+
+import (
+	"fmt"
+
+	"ofc/internal/faas"
+	"ofc/internal/simnet"
+)
+
+// Arbitrary object sizes — the extension §6.1 leaves for future work.
+// When enabled, cacheable objects above the store's per-object ceiling
+// are striped across fixed-size chunks ("key#i"), each a regular
+// replicated cache object, with a proxy-side manifest. The RSDS always
+// holds whole objects: the persistor reassembles the stripes.
+//
+// Enable with RCLib.EnableChunking; off by default to keep the
+// faithful-paper configuration.
+
+const chunkSize = 8 << 20
+
+// chunkManifest records a striped object.
+type chunkManifest struct {
+	n       int
+	size    int64
+	version uint64
+}
+
+// EnableChunking turns the large-object extension on.
+func (rc *RCLib) EnableChunking() {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.chunking = true
+	if rc.chunked == nil {
+		rc.chunked = make(map[string]chunkManifest)
+	}
+}
+
+func (rc *RCLib) chunkingOn() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.chunking
+}
+
+func chunkKey(key string, i int) string { return fmt.Sprintf("%s#%d", key, i) }
+
+// putChunked stripes a large object into the cache and schedules its
+// write-back. Returns false when striping failed (caller falls back to
+// the synchronous RSDS path).
+func (rc *RCLib) putChunked(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts) bool {
+	n := int((blob.Size + chunkSize - 1) / chunkSize)
+	var version uint64
+	if opts.Kind == faas.KindFinal {
+		version = rc.rsds.PutShadow(caller, key, blob.Size)
+	}
+	written := make([]string, 0, n)
+	remaining := blob.Size
+	for i := 0; i < n; i++ {
+		sz := remaining
+		if sz > chunkSize {
+			sz = chunkSize
+		}
+		remaining -= sz
+		tags := map[string]string{"kind": "chunk", "of": key, "dirty": "0"}
+		if _, err := rc.kv.Write(caller, chunkKey(key, i), faas.Blob{Size: sz}, tags, caller); err != nil {
+			for _, k := range written {
+				rc.kv.Evict(k)
+			}
+			return false
+		}
+		written = append(written, chunkKey(key, i))
+	}
+	rc.mu.Lock()
+	rc.chunked[key] = chunkManifest{n: n, size: blob.Size, version: version}
+	rc.mu.Unlock()
+	if opts.Kind == faas.KindIntermediate && opts.Pipeline != "" {
+		rc.mu.Lock()
+		rc.pipelines[opts.Pipeline] = append(rc.pipelines[opts.Pipeline], key)
+		rc.mu.Unlock()
+		return true
+	}
+	// Final: persist the reassembled object in the background.
+	rc.schedulePersistChunked(key, version, n, blob.Size)
+	return true
+}
+
+// schedulePersistChunked injects a Persistor that reassembles the
+// stripes and pushes the whole payload.
+func (rc *RCLib) schedulePersistChunked(key string, version uint64, n int, size int64) {
+	rc.mu.Lock()
+	if _, ok := rc.pending[key]; !ok {
+		rc.pending[key] = newPendingFuture(rc)
+	}
+	rc.mu.Unlock()
+	rc.env.Go(func() {
+		rc.platform.Invoke(&faas.Request{
+			Function:  rc.persistFn,
+			InputKeys: []string{key},
+			Args: map[string]float64{
+				"version": float64(version),
+				"chunks":  float64(n),
+				"size":    float64(size),
+			},
+		})
+	})
+}
+
+// getChunked reassembles a striped object from the cache; ok is false
+// when any stripe is gone (caller falls back to the RSDS).
+func (rc *RCLib) getChunked(caller simnet.NodeID, key string) (faas.Blob, bool) {
+	rc.mu.Lock()
+	m, found := rc.chunked[key]
+	rc.mu.Unlock()
+	if !found {
+		return faas.Blob{}, false
+	}
+	var total int64
+	for i := 0; i < m.n; i++ {
+		blob, _, err := rc.kv.Read(caller, chunkKey(key, i))
+		if err != nil {
+			return faas.Blob{}, false
+		}
+		total += blob.Size
+	}
+	return faas.Blob{Size: total}, true
+}
+
+// persistChunkedBody handles a Persistor invocation for a striped
+// object: read every stripe, push the whole payload, drop the stripes.
+func (rc *RCLib) persistChunkedBody(ctx *faas.Ctx, key string, version uint64, n int) error {
+	node := ctx.Node()
+	var total int64
+	for i := 0; i < n; i++ {
+		blob, _, err := rc.kv.Read(node, chunkKey(key, i))
+		if err != nil {
+			rc.resolvePending(key)
+			return nil // a stripe vanished; a newer version owns the key
+		}
+		total += blob.Size
+	}
+	perr := rc.rsds.PersistPayload(node, key, faas.Blob{Size: total}, version)
+	if perr == nil {
+		rc.dropChunks(key, n)
+		rc.statsMu.Lock()
+		rc.writeBacks++
+		rc.statsMu.Unlock()
+	}
+	rc.resolvePending(key)
+	return nil
+}
+
+// dropChunks evicts every stripe of key and its manifest.
+func (rc *RCLib) dropChunks(key string, n int) {
+	for i := 0; i < n; i++ {
+		rc.kv.Evict(chunkKey(key, i))
+	}
+	rc.mu.Lock()
+	delete(rc.chunked, key)
+	rc.mu.Unlock()
+}
+
+// evictChunked removes a striped object entirely (pipeline cleanup).
+func (rc *RCLib) evictChunked(key string) bool {
+	rc.mu.Lock()
+	m, found := rc.chunked[key]
+	rc.mu.Unlock()
+	if !found {
+		return false
+	}
+	rc.dropChunks(key, m.n)
+	return true
+}
+
+// chunkArgs extracts the chunked-persist parameters from a Persistor
+// request, if present.
+func chunkArgs(ctx *faas.Ctx) (n int, ok bool) {
+	v := ctx.Arg("chunks")
+	if v <= 0 {
+		return 0, false
+	}
+	return int(v), true
+}

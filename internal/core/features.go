@@ -1,0 +1,120 @@
+// Package core implements OFC itself (paper §4–§6): the ML modules
+// (Predictor, ModelTrainer), the cache-side components (CacheAgent,
+// Proxy/rclib, Persistor), the Monitor feedback loop and the
+// locality-aware request routing — wired into the faas platform,
+// the kvstore cache substrate and the objstore RSDS.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ofc/internal/faas"
+	"ofc/internal/mltree"
+)
+
+// Common feature names the feature schema recognizes per input type
+// (§5.1.2): input byte size for every function, pixel dimensions for
+// images, duration/bitrate for audio and video, etc. Function-specific
+// arguments are appended by name, opaque to the platform.
+var typeFeatures = map[string][]string{
+	"image": {"size", "width", "height", "channels"},
+	"audio": {"size", "duration", "bitrate", "channels"},
+	"video": {"size", "duration", "width", "height", "fps"},
+	"text":  {"size", "lines"},
+	"none":  {"size"},
+}
+
+// FeatureSchema maps invocation requests onto mltree feature vectors
+// for one function.
+type FeatureSchema struct {
+	names []string
+	attrs []mltree.Attribute
+}
+
+// NewFeatureSchema builds the per-function schema: common features of
+// the function's input type followed by the function-specific argument
+// names, sorted for determinism.
+func NewFeatureSchema(fn *faas.Function) *FeatureSchema {
+	common, ok := typeFeatures[fn.InputType]
+	if !ok {
+		common = typeFeatures["none"]
+	}
+	names := append([]string{}, common...)
+	args := append([]string{}, fn.ArgNames...)
+	sort.Strings(args)
+	names = append(names, args...)
+	attrs := make([]mltree.Attribute, len(names))
+	for i, n := range names {
+		attrs[i] = mltree.Attribute{Name: n, Kind: mltree.Numeric}
+	}
+	return &FeatureSchema{names: names, attrs: attrs}
+}
+
+// Attributes returns the mltree schema.
+func (s *FeatureSchema) Attributes() []mltree.Attribute { return s.attrs }
+
+// Names returns the feature names in vector order.
+func (s *FeatureSchema) Names() []string { return s.names }
+
+// Vector assembles the feature vector of a request: input-object
+// sidecar features first (extracted at object creation, §5.1.2), then
+// the request arguments. Unknown features are Missing.
+func (s *FeatureSchema) Vector(req *faas.Request) []float64 {
+	vals := make([]float64, len(s.names))
+	for i, name := range s.names {
+		if v, ok := req.InputFeatures[name]; ok {
+			vals[i] = v
+		} else if v, ok := req.Args[name]; ok {
+			vals[i] = v
+		} else {
+			vals[i] = mltree.Missing
+		}
+	}
+	return vals
+}
+
+// Intervals converts between bytes and the classifier's memory
+// intervals (§5.1.1): n classes of Size bytes covering [0, Max].
+type Intervals struct {
+	Size int64
+	Max  int64
+}
+
+// DefaultIntervals is the paper's choice: 16 MB intervals over
+// [0, 2 GB] (128 classes).
+func DefaultIntervals() Intervals { return Intervals{Size: 16 << 20, Max: 2 << 30} }
+
+// NumClasses returns the class count.
+func (iv Intervals) NumClasses() int { return int(iv.Max / iv.Size) }
+
+// ClassOf maps a memory amount to its interval index.
+func (iv Intervals) ClassOf(bytes int64) int {
+	if bytes <= 0 {
+		return 0
+	}
+	k := int((bytes - 1) / iv.Size)
+	if k >= iv.NumClasses() {
+		k = iv.NumClasses() - 1
+	}
+	return k
+}
+
+// UpperBound returns the memory amount of class k's upper edge — the
+// amount allocated when the model predicts class k.
+func (iv Intervals) UpperBound(k int) int64 {
+	b := int64(k+1) * iv.Size
+	if b > iv.Max {
+		b = iv.Max
+	}
+	return b
+}
+
+// ClassNames labels the classes for mltree datasets.
+func (iv Intervals) ClassNames() []string {
+	names := make([]string, iv.NumClasses())
+	for i := range names {
+		names[i] = fmt.Sprintf("%dMB", (int64(i+1)*iv.Size)>>20)
+	}
+	return names
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
+	"ofc/internal/objstore"
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// Options configures a full OFC deployment.
+type Options struct {
+	// Workers is the number of FaaS worker nodes (the paper's testbed
+	// uses 4 workers + 1 controller machine + 1 storage machine).
+	Workers int
+	// NodeCapacity is each worker's memory usable by sandboxes and
+	// cache.
+	NodeCapacity int64
+	Seed         int64
+	Net          simnet.Config
+	FaaS         faas.Config
+	KV           kvstore.Config
+	RSDS         objstore.Profile
+	Predictor    PredictorConfig
+	Agent        CacheAgentConfig
+	// DisableCacheAgents leaves cache grants at zero (for tests that
+	// drive grants manually).
+	DisableCacheAgents bool
+}
+
+// DefaultOptions mirrors the paper's testbed shape.
+func DefaultOptions() Options {
+	return Options{
+		Workers:      4,
+		NodeCapacity: 8 << 30,
+		Seed:         1,
+		Net:          simnet.DefaultConfig(),
+		FaaS:         faas.DefaultConfig(),
+		KV:           kvstore.DefaultConfig(),
+		RSDS:         objstore.SwiftProfile(),
+		Predictor:    DefaultPredictorConfig(),
+		Agent:        DefaultCacheAgentConfig(),
+	}
+}
+
+// System is a deployed OFC stack: platform + cache + RSDS + ML,
+// mirroring Figure 4.
+type System struct {
+	Env      *sim.Env
+	Net      *simnet.Network
+	Platform *faas.Platform
+	KV       *kvstore.Cluster
+	RSDS     *objstore.Store
+	Pred     *Predictor
+	Trainer  *ModelTrainer
+	RC       *RCLib
+	Gov      *Governor
+
+	CtrlNode    simnet.NodeID
+	StorageNode simnet.NodeID
+	WorkerNodes []simnet.NodeID
+
+	agents []*CacheAgent
+
+	statsMu  sync.Mutex
+	goodPred int64
+	badPred  int64
+	started  bool
+}
+
+// NewSystem assembles the stack: controller node (OWK Controller + RC
+// coordinator + ModelTrainer), a storage node (Swift) and worker nodes
+// (Invoker + RAMCloud server + cacheAgent + Proxy).
+func NewSystem(opts Options) *System {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	env := sim.NewEnv(opts.Seed)
+	net := simnet.New(env, opts.Net)
+	ctrl := net.AddNode("controller").ID
+	storage := net.AddNode("storage").ID
+	workers := make([]simnet.NodeID, opts.Workers)
+	for i := range workers {
+		workers[i] = net.AddNode("worker").ID
+	}
+
+	rsds := objstore.New(net, storage, opts.RSDS)
+	kv := kvstore.New(net, ctrl, opts.KV)
+	platform := faas.New(net, ctrl, opts.FaaS)
+
+	sys := &System{
+		Env: env, Net: net, Platform: platform, KV: kv, RSDS: rsds,
+		CtrlNode: ctrl, StorageNode: storage, WorkerNodes: workers,
+	}
+	sys.Pred = NewPredictor(opts.Predictor)
+	sys.Trainer = NewModelTrainer(sys.Pred, env)
+	sys.RC = NewRCLib(env, kv, rsds)
+	sys.Gov = NewGovernor()
+
+	for _, w := range workers {
+		kv.AddServer(w, 0) // limit follows the cache grant
+		inv := platform.AddInvoker(w, opts.NodeCapacity, sys.RC)
+		if !opts.DisableCacheAgents {
+			agent := NewCacheAgent(env, inv, kv, sys.RC, opts.Agent)
+			sys.Gov.Add(agent)
+			sys.agents = append(sys.agents, agent)
+		}
+	}
+
+	platform.Advisor = sys.Pred
+	platform.Router = NewRouter(kv)
+	platform.Observer = sys
+	platform.Governor = sys.Gov
+	platform.MonitorEnabled = true
+
+	sys.RC.AttachPlatform(platform)
+	return sys
+}
+
+// Start arms the background loops (cache agents, model trainer). It is
+// idempotent.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	for _, a := range s.agents {
+		a.Start()
+	}
+	s.Trainer.Start()
+}
+
+// Run starts the system, executes body as a simulation process, lets
+// asynchronous work settle, then stops the periodic loops and drives
+// the simulation to completion. It returns the virtual time at which
+// body finished.
+func (s *System) Run(body func()) sim.Time {
+	s.Start()
+	var bodyEnd sim.Time
+	s.Env.Go(func() {
+		body()
+		bodyEnd = s.Env.Now()
+		s.Env.Sleep(5 * time.Second) // drain persistors and write-backs
+		s.Env.Stop()
+	})
+	s.Env.Run()
+	return bodyEnd
+}
+
+// Agents returns the per-node cache agents.
+func (s *System) Agents() []*CacheAgent { return s.agents }
+
+// Register adds a function to the platform and initializes its model
+// state.
+func (s *System) Register(fn *faas.Function) {
+	s.Platform.Register(fn)
+	s.Pred.state(fn)
+}
+
+// OnPlaced implements faas.PlacementObserver: the moment a sandbox is
+// provisioned, its booked-but-unused memory becomes the cache's (§4).
+func (s *System) OnPlaced(node simnet.NodeID) {
+	if a := s.Gov.Agent(node); a != nil {
+		a.Grow()
+	}
+}
+
+// OnComplete implements faas.CompletionObserver: it grows the local
+// cache with the invocation's leftover memory (§4), updates the
+// prediction quality counters (Table 2) and feeds the ModelTrainer.
+func (s *System) OnComplete(req *faas.Request, res *faas.Result) {
+	if req.Function.Tenant == "ofc" {
+		return // helper functions are not learned
+	}
+	if a := s.Gov.Agent(res.Node); a != nil {
+		a.Grow()
+	}
+	if req.Advised() {
+		s.statsMu.Lock()
+		if res.PeakMem > res.InitialMem {
+			s.badPred++
+		} else {
+			s.goodPred++
+		}
+		s.statsMu.Unlock()
+	}
+	if res.Err != nil {
+		return
+	}
+	schema := s.Pred.Schema(req.Function)
+	sample := Sample{
+		Vals:      schema.Vector(req),
+		PeakMem:   res.PeakMem,
+		Transform: res.Transform,
+		// Benefit ground truth uses the *uncached* E/L costs, modeled
+		// from the RSDS profile and the observed payload sizes — the
+		// measured phases shrink once caching kicks in and would
+		// mislabel.
+		Extract:      s.RC.EstimateRSDS(res.ReadOps, res.BytesIn, false),
+		Load:         s.RC.EstimateRSDS(res.WriteOps, res.BytesOut, true),
+		BenefitKnown: res.BytesIn+res.BytesOut > 0,
+	}
+	s.Trainer.Observe(req.Function, req, sample)
+}
+
+// PredictionCounts reports (good, bad) advised predictions, Table 2
+// style: bad means the invocation's peak exceeded the provisioned
+// sandbox memory.
+func (s *System) PredictionCounts() (good, bad int64) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.goodPred, s.badPred
+}
+
+// CacheBytes returns the cache's total master-copy footprint.
+func (s *System) CacheBytes() int64 { return s.KV.TotalUsed() }
+
+// CacheGrantBytes returns the memory currently hoarded for the cache
+// across all workers — the quantity Figure 10 plots.
+func (s *System) CacheGrantBytes() int64 {
+	var total int64
+	for _, inv := range s.Platform.Invokers() {
+		total += inv.CacheGrant()
+	}
+	return total
+}
+
+// AggregateAgentMetrics sums the per-node agent counters (Table 2).
+func (s *System) AggregateAgentMetrics() AgentMetrics {
+	var m AgentMetrics
+	for _, a := range s.agents {
+		am := a.Metrics()
+		m.ScaleUps += am.ScaleUps
+		m.ScaleUpTime += am.ScaleUpTime
+		m.ScaleDownNoEviction += am.ScaleDownNoEviction
+		m.ScaleDownMigration += am.ScaleDownMigration
+		m.ScaleDownEviction += am.ScaleDownEviction
+		m.ScaleDownTime += am.ScaleDownTime
+		m.PeriodicEvictions += am.PeriodicEvictions
+		m.ReclaimFailures += am.ReclaimFailures
+	}
+	return m
+}

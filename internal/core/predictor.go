@@ -1,0 +1,320 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/mltree"
+	"ofc/internal/sim"
+)
+
+// Sample is one observed invocation used for training.
+type Sample struct {
+	Vals    []float64
+	PeakMem int64
+	// Phase durations measured against the RSDS (ground truth for the
+	// caching-benefit label (E+L)/(E+T+L) > 0.5, §5.2).
+	Extract, Transform, Load time.Duration
+	// BenefitKnown is false when the invocation was served from the
+	// cache, where the uncached E and L are unobservable.
+	BenefitKnown bool
+}
+
+// BenefitLabel computes the §5.2 ground truth.
+func (s *Sample) BenefitLabel() bool {
+	total := s.Extract + s.Transform + s.Load
+	if total == 0 {
+		return false
+	}
+	return float64(s.Extract+s.Load)/float64(total) > 0.5
+}
+
+// modelState holds the per-function learning state.
+type modelState struct {
+	fn     *faas.Function
+	schema *FeatureSchema
+
+	mu sync.Mutex
+	// Training data.
+	memData     *mltree.Dataset
+	benefitData *mltree.Dataset
+	// Trained models (nil until first train).
+	memModel     mltree.Classifier
+	benefitModel mltree.Classifier
+	// Maturation state (§5.3).
+	mature       bool
+	maturedAt    int // invocation count at maturation
+	invocations  int // total observed
+	sinceTrain   int // observations since last retrain
+	benefitSince int
+	lastCheck    int
+}
+
+// PredictorConfig tunes the ML module.
+type PredictorConfig struct {
+	Intervals Intervals
+	// MinInvocations before the first maturation check (paper: 100).
+	MinInvocations int
+	// CheckEvery is the re-check cadence (in invocations) before
+	// maturation.
+	CheckEvery int
+	// EOTarget and UnderWithinOneTarget are the §5.3 criteria.
+	EOTarget             float64
+	UnderWithinOneTarget float64
+	// CVFolds used for the maturation evaluation.
+	CVFolds int
+	// OverPredictionSlack is how far above truth (in intervals) a
+	// prediction must be before it re-enters the training set after
+	// maturation (paper: 6).
+	OverPredictionSlack int
+	// UnderWeight is the extra weight of underprediction samples.
+	UnderWeight float64
+	// Seed feeds the CV shuffles.
+	Seed int64
+}
+
+// DefaultPredictorConfig returns the paper's parameters.
+func DefaultPredictorConfig() PredictorConfig {
+	return PredictorConfig{
+		Intervals:            DefaultIntervals(),
+		MinInvocations:       100,
+		CheckEvery:           25,
+		EOTarget:             0.90,
+		UnderWithinOneTarget: 0.50,
+		CVFolds:              5,
+		OverPredictionSlack:  6,
+		UnderWeight:          2,
+	}
+}
+
+// Predictor serves memory and caching-benefit predictions on the
+// invocation critical path (§5.1, §5.2) and owns the per-function
+// model states the ModelTrainer updates.
+type Predictor struct {
+	cfg PredictorConfig
+
+	mu     sync.Mutex
+	models map[string]*modelState
+}
+
+// NewPredictor returns an empty predictor.
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	return &Predictor{cfg: cfg, models: make(map[string]*modelState)}
+}
+
+// state returns (creating if needed) the model state for fn.
+func (p *Predictor) state(fn *faas.Function) *modelState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.models[fn.ID()]
+	if !ok {
+		schema := NewFeatureSchema(fn)
+		st = &modelState{
+			fn:          fn,
+			schema:      schema,
+			memData:     mltree.NewDataset(schema.Attributes(), p.cfg.Intervals.ClassNames()),
+			benefitData: mltree.NewDataset(schema.Attributes(), []string{"no", "yes"}),
+		}
+		p.models[fn.ID()] = st
+	}
+	return st
+}
+
+// Advise implements faas.Advisor: predict the sandbox memory (upper
+// bound of the *next greater* interval, §5.3's conservative bump) and
+// the caching benefit. Advice is unusable until the model matures.
+func (p *Predictor) Advise(req *faas.Request) faas.Advice {
+	st := p.state(req.Function)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.mature || st.memModel == nil {
+		return faas.Advice{Use: false, ShouldCache: false}
+	}
+	vals := st.schema.Vector(req)
+	k := st.memModel.Classify(vals)
+	mem := p.cfg.Intervals.UpperBound(k + 1) // conservative next interval
+	should := true
+	if st.benefitModel != nil {
+		should = st.benefitModel.Classify(vals) == 1
+	}
+	return faas.Advice{Mem: mem, ShouldCache: should, Use: true}
+}
+
+// Mature reports whether fn's memory model passed the §5.3 criteria.
+func (p *Predictor) Mature(fn *faas.Function) bool {
+	st := p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.mature
+}
+
+// MaturedAt returns the invocation count at which fn's model matured
+// (0 if not yet).
+func (p *Predictor) MaturedAt(fn *faas.Function) int {
+	st := p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.maturedAt
+}
+
+// Schema exposes the feature schema of fn (experiments use it to build
+// offline datasets).
+func (p *Predictor) Schema(fn *faas.Function) *FeatureSchema {
+	return p.state(fn).schema
+}
+
+// PredictRaw classifies without the conservative bump (experiments and
+// tests).
+func (p *Predictor) PredictRaw(fn *faas.Function, vals []float64) (class int, ok bool) {
+	st := p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.memModel == nil {
+		return 0, false
+	}
+	return st.memModel.Classify(vals), true
+}
+
+// ModelTrainer ingests completed invocations, maintains the training
+// datasets, retrains the J48 models and applies the maturation
+// criteria (§5.3). Retraining runs periodically on the trainer node,
+// off the critical path.
+type ModelTrainer struct {
+	p   *Predictor
+	env *sim.Env
+	// TrainEvery is the virtual-time retraining period.
+	TrainEvery time.Duration
+}
+
+// NewModelTrainer wires a trainer to the predictor. Call Start to arm
+// the periodic retraining loop, or rely on per-observation triggers.
+func NewModelTrainer(p *Predictor, env *sim.Env) *ModelTrainer {
+	return &ModelTrainer{p: p, env: env, TrainEvery: 60 * time.Second}
+}
+
+// Observe records one completed invocation for fn.
+func (t *ModelTrainer) Observe(fn *faas.Function, req *faas.Request, s Sample) {
+	cfg := t.p.cfg
+	st := t.p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.invocations++
+	trueClass := cfg.Intervals.ClassOf(s.PeakMem)
+
+	addMem := true
+	weight := 1.0
+	if st.mature && st.memModel != nil {
+		// Post-maturation dataset policy (§5.3.3): keep the set small;
+		// only add invocations the model got wrong on the dangerous
+		// side (underprediction) or absurdly wrong on the high side.
+		pred := st.memModel.Classify(s.Vals)
+		switch {
+		case pred < trueClass:
+			weight = cfg.UnderWeight
+		case pred-trueClass > cfg.OverPredictionSlack:
+			weight = 1
+		default:
+			addMem = false
+		}
+	}
+	if addMem {
+		st.memData.AddWeighted(s.Vals, trueClass, weight)
+		st.sinceTrain++
+	}
+	if s.BenefitKnown {
+		label := 0
+		if s.BenefitLabel() {
+			label = 1
+		}
+		st.benefitData.Add(s.Vals, label)
+		st.benefitSince++
+	}
+
+	// Pre-maturation: retrain + re-check at the configured cadence.
+	if !st.mature {
+		if st.invocations >= cfg.MinInvocations && st.invocations-st.lastCheck >= 0 &&
+			(st.invocations == cfg.MinInvocations || st.invocations-st.lastCheck >= cfg.CheckEvery) {
+			st.lastCheck = st.invocations
+			t.trainLocked(st)
+			if t.matureCheckLocked(st) {
+				st.mature = true
+				st.maturedAt = st.invocations
+			}
+		}
+		return
+	}
+	// Post-maturation: correct quickly after a bad prediction (§5.3:
+	// "the model is corrected quickly").
+	if st.sinceTrain >= 5 || st.benefitSince >= 25 {
+		t.trainLocked(st)
+	}
+}
+
+// trainLocked retrains both models from the current datasets.
+func (t *ModelTrainer) trainLocked(st *modelState) {
+	if st.memData.Len() >= 10 {
+		st.memModel = mltree.NewJ48().Fit(st.memData)
+		st.sinceTrain = 0
+	}
+	if st.benefitData.Len() >= 10 {
+		st.benefitModel = mltree.NewJ48().Fit(st.benefitData)
+		st.benefitSince = 0
+	}
+}
+
+// matureCheckLocked evaluates the §5.3 criteria by cross-validation
+// over the training set.
+func (t *ModelTrainer) matureCheckLocked(st *modelState) bool {
+	cfg := t.p.cfg
+	if st.memData.Len() < cfg.MinInvocations {
+		return false
+	}
+	conf := mltree.CrossValidate(mltree.NewJ48(), st.memData, cfg.CVFolds, cfg.Seed+int64(st.invocations))
+	return conf.EOAccuracy() >= cfg.EOTarget && conf.UnderWithinOne() >= cfg.UnderWithinOneTarget
+}
+
+// Pretrain matures fn's models from an offline dataset (the paper's
+// machine-learning folder: offline scripts and data from initial
+// experiments). Used by macro experiments, which run far fewer
+// invocations than online maturation needs.
+func (t *ModelTrainer) Pretrain(fn *faas.Function, samples []Sample) {
+	st := t.p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, s := range samples {
+		st.memData.Add(s.Vals, t.p.cfg.Intervals.ClassOf(s.PeakMem))
+		if s.BenefitKnown {
+			label := 0
+			if s.BenefitLabel() {
+				label = 1
+			}
+			st.benefitData.Add(s.Vals, label)
+		}
+	}
+	st.invocations += len(samples)
+	t.trainLocked(st)
+	st.mature = true
+	st.maturedAt = st.invocations
+}
+
+// Start arms the periodic retraining loop (paper: the ModelTrainer
+// "periodically retrains all memory prediction models").
+func (t *ModelTrainer) Start() {
+	t.env.Every(t.TrainEvery, func() bool {
+		t.p.mu.Lock()
+		states := make([]*modelState, 0, len(t.p.models))
+		for _, st := range t.p.models {
+			states = append(states, st)
+		}
+		t.p.mu.Unlock()
+		for _, st := range states {
+			st.mu.Lock()
+			if st.sinceTrain > 0 || st.benefitSince > 0 {
+				t.trainLocked(st)
+			}
+			st.mu.Unlock()
+		}
+		return true
+	})
+}

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
+	"ofc/internal/objstore"
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// RCLib is OFC's Proxy + rclib (paper §4, §6.2): the storage layer
+// interposed between function code and the RSDS. Reads are served from
+// the RAMCloud-backed cache when possible; writes of cacheable objects
+// go to the cache with a synchronous shadow placeholder in the RSDS
+// and an asynchronous Persistor function carrying the payload later.
+type RCLib struct {
+	env  *sim.Env
+	kv   *kvstore.Cluster
+	rsds *objstore.Store
+
+	// platform is set after construction (the Persistor is itself a
+	// FaaS function injected into the platform).
+	platform  *faas.Platform
+	persistFn *faas.Function
+
+	mu sync.Mutex
+	// pending maps keys to futures resolved when their latest payload
+	// has been persisted (external-read webhook barrier).
+	pending map[string]*sim.Future[struct{}]
+	// pipelines tracks intermediate object keys per pipeline instance.
+	pipelines map[string][]string
+	// chunking enables the large-object striping extension.
+	chunking bool
+	chunked  map[string]chunkManifest
+	// relaxed holds key prefixes (buckets/accounts) whose tenants
+	// disabled the §6.2 strong-consistency facilities: no shadow
+	// objects, no eager persistors; writes propagate lazily on
+	// eviction, persistence rides on RAMCloud's replication.
+	relaxed []string
+
+	statsMu   sync.Mutex
+	hits      int64
+	localHits int64
+	misses    int64
+	// Ephemeral (pipeline-intermediate) accesses tracked separately:
+	// intra-pipeline hits are structural and would mask the input
+	// hit ratio the paper's Table 2 reports.
+	ephemHits    int64
+	ephemMisses  int64
+	admissions   int64
+	writeBacks   int64
+	bypassWrites int64
+	ephemeral    int64 // bytes of intermediate+final outputs produced
+}
+
+// NewRCLib builds the proxy over the cache and the RSDS.
+func NewRCLib(env *sim.Env, kv *kvstore.Cluster, rsds *objstore.Store) *RCLib {
+	rc := &RCLib{
+		env:       env,
+		kv:        kv,
+		rsds:      rsds,
+		pending:   make(map[string]*sim.Future[struct{}]),
+		pipelines: make(map[string][]string),
+	}
+	// Consistency webhooks for non-FaaS clients (§6.2).
+	rsds.OnRead(func(key string, m objstore.Meta) {
+		if !m.IsShadow() {
+			return
+		}
+		rc.mu.Lock()
+		f := rc.pending[key]
+		rc.mu.Unlock()
+		if f != nil {
+			f.Wait() // the persistor is already scheduled; block until done
+		}
+	})
+	rsds.OnWrite(func(key string) {
+		// Synchronously invalidate the cached copy before an external
+		// write lands.
+		rc.kv.Evict(key)
+	})
+	return rc
+}
+
+// SetRelaxed marks a key prefix (the paper's bucket/object/account
+// granularity) as relaxed-consistency (§6.2): cacheable writes under
+// it skip the synchronous shadow placeholder and the eager Persistor;
+// dirty data reaches the RSDS only when the cacheAgent evicts it.
+func (rc *RCLib) SetRelaxed(prefix string) {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	rc.relaxed = append(rc.relaxed, prefix)
+}
+
+// isRelaxed reports whether key falls under a relaxed prefix.
+func (rc *RCLib) isRelaxed(key string) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for _, p := range rc.relaxed {
+		if strings.HasPrefix(key, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachPlatform registers the Persistor helper function with the FaaS
+// platform (it must be called once before any cacheable write).
+func (rc *RCLib) AttachPlatform(p *faas.Platform) {
+	rc.platform = p
+	rc.persistFn = &faas.Function{
+		Name:         "persistor",
+		Tenant:       "ofc",
+		MemoryBooked: 64 << 20,
+		InputType:    "none",
+		Body:         rc.persistBody,
+	}
+	p.Register(rc.persistFn)
+}
+
+// persistBody is the Persistor function (§6.2): read the payload from
+// the cache, push it to the RSDS for the recorded version, then apply
+// the §6.3 discard policy for final outputs.
+func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
+	key := ctx.InputKeys()[0]
+	version := uint64(ctx.Arg("version"))
+	if n, ok := chunkArgs(ctx); ok {
+		return rc.persistChunkedBody(ctx, key, version, n)
+	}
+	node := ctx.Node()
+	blob, meta, err := rc.kv.Read(node, key)
+	if err != nil {
+		// The object vanished (external invalidation); nothing to push.
+		rc.resolvePending(key)
+		return nil
+	}
+	perr := rc.rsds.PersistPayload(node, key, blob, version)
+	if perr == nil {
+		if meta.Tags["kind"] == "final" {
+			// Final outputs are discarded from the cache as soon as
+			// they have been written back (§6.3).
+			rc.kv.Evict(key)
+		} else {
+			rc.kv.SetTag(node, key, "dirty", "0")
+		}
+		rc.statsMu.Lock()
+		rc.writeBacks++
+		rc.statsMu.Unlock()
+	}
+	// A stale persist means a newer version's persistor owns the key.
+	if perr == nil || perr == objstore.ErrStale {
+		rc.resolvePending(key)
+	}
+	return nil
+}
+
+// newPendingFuture creates the completion future for a pending
+// write-back.
+func newPendingFuture(rc *RCLib) *sim.Future[struct{}] {
+	return sim.NewFuture[struct{}](rc.env)
+}
+
+func (rc *RCLib) resolvePending(key string) {
+	rc.mu.Lock()
+	f := rc.pending[key]
+	delete(rc.pending, key)
+	rc.mu.Unlock()
+	if f != nil && !f.Done() {
+		f.Set(struct{}{})
+	}
+}
+
+// Get implements faas.Storage: cache first, RSDS on miss, with
+// admission of cache-worthy inputs.
+func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.Blob, error) {
+	blob, meta, err := rc.kv.Read(caller, key)
+	if err == nil {
+		rc.statsMu.Lock()
+		rc.hits++
+		if meta.Tags["kind"] == "intermediate" {
+			rc.ephemHits++
+		}
+		if m, ok := rc.kv.MasterOf(key); ok && m == caller {
+			rc.localHits++
+		}
+		rc.statsMu.Unlock()
+		return blob, nil
+	}
+	if rc.chunkingOn() {
+		if blob, ok := rc.getChunked(caller, key); ok {
+			rc.statsMu.Lock()
+			rc.hits++
+			if rc.isEphemeralKey(key) {
+				rc.ephemHits++
+			}
+			rc.statsMu.Unlock()
+			return blob, nil
+		}
+	}
+	rc.statsMu.Lock()
+	rc.misses++
+	if rc.isEphemeralKey(key) {
+		rc.ephemMisses++
+	}
+	rc.statsMu.Unlock()
+	blob, _, rerr := rc.rsds.Get(caller, key, false)
+	if rerr != nil {
+		return faas.Blob{}, rerr
+	}
+	if opts.ShouldCache && blob.Size <= rc.kv.Config().MaxObjectSize {
+		// Admit off the critical path; a failed admission (no space)
+		// is only a lost opportunity.
+		rc.env.Go(func() {
+			_, werr := rc.kv.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
+			if werr == nil {
+				rc.statsMu.Lock()
+				rc.admissions++
+				rc.statsMu.Unlock()
+			}
+		})
+	}
+	return blob, nil
+}
+
+// Put implements faas.Storage (§6.2, §6.3):
+//   - uncacheable objects go straight to the RSDS;
+//   - pipeline intermediates live only in the cache (never persisted);
+//   - final outputs get a synchronous shadow placeholder in the RSDS,
+//     land in the cache, and a Persistor function is injected to push
+//     the payload asynchronously (write-back).
+func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts) error {
+	rc.statsMu.Lock()
+	if opts.Kind != faas.KindInput {
+		rc.ephemeral += blob.Size
+	}
+	rc.statsMu.Unlock()
+	// Large-object extension: stripe oversized cacheable objects.
+	if rc.chunkingOn() && blob.Size > rc.kv.Config().MaxObjectSize &&
+		(opts.Kind == faas.KindIntermediate || opts.ShouldCache) {
+		if rc.putChunked(caller, key, blob, opts) {
+			return nil
+		}
+	}
+	// Pipeline intermediates are cached regardless of the benefit
+	// verdict (§6.3 presumes they live in the cache and are discarded
+	// when the pipeline ends); everything else respects the Predictor.
+	if opts.Kind != faas.KindIntermediate &&
+		(!opts.ShouldCache || blob.Size > rc.kv.Config().MaxObjectSize) {
+		rc.rsds.Put(caller, key, blob, nil, false)
+		rc.statsMu.Lock()
+		rc.bypassWrites++
+		rc.statsMu.Unlock()
+		return nil
+	}
+	if opts.Kind == faas.KindIntermediate {
+		if blob.Size > rc.kv.Config().MaxObjectSize {
+			rc.rsds.Put(caller, key, blob, nil, false)
+			rc.statsMu.Lock()
+			rc.bypassWrites++
+			rc.statsMu.Unlock()
+			return nil
+		}
+		_, err := rc.kv.Write(caller, key, blob, map[string]string{
+			"kind": "intermediate", "pipeline": opts.Pipeline, "dirty": "0",
+		}, caller)
+		if err != nil {
+			// Cache full: fall back to the RSDS (transparently slower).
+			rc.rsds.Put(caller, key, blob, nil, false)
+			return nil
+		}
+		if opts.Pipeline != "" {
+			rc.mu.Lock()
+			rc.pipelines[opts.Pipeline] = append(rc.pipelines[opts.Pipeline], key)
+			rc.mu.Unlock()
+		}
+		return nil
+	}
+	if rc.isRelaxed(key) {
+		// §6.2 relaxed mode: cache-resident, lazily written back. The
+		// version tag 0 makes WriteBackNow use a plain Put.
+		_, err := rc.kv.Write(caller, key, blob, map[string]string{
+			"kind": "final", "dirty": "1", "version": "0",
+		}, caller)
+		if err != nil {
+			rc.rsds.Put(caller, key, blob, nil, false)
+		}
+		return nil
+	}
+	// Final output: shadow + cache + async persist.
+	version := rc.rsds.PutShadow(caller, key, blob.Size)
+	_, err := rc.kv.Write(caller, key, blob, map[string]string{
+		"kind": "final", "dirty": "1", "version": strconv.FormatUint(version, 10),
+	}, caller)
+	if err != nil {
+		// No cache room: persist synchronously (vanilla path).
+		return rc.rsds.PersistPayload(caller, key, blob, version)
+	}
+	rc.schedulePersist(caller, key, version)
+	return nil
+}
+
+// schedulePersist injects a Persistor invocation for (key, version).
+func (rc *RCLib) schedulePersist(node simnet.NodeID, key string, version uint64) {
+	rc.mu.Lock()
+	if _, ok := rc.pending[key]; !ok {
+		rc.pending[key] = sim.NewFuture[struct{}](rc.env)
+	}
+	rc.mu.Unlock()
+	rc.env.Go(func() {
+		rc.platform.Invoke(&faas.Request{
+			Function:  rc.persistFn,
+			InputKeys: []string{key},
+			Args:      map[string]float64{"version": float64(version)},
+		})
+	})
+}
+
+// Delete implements faas.Storage.
+func (rc *RCLib) Delete(caller simnet.NodeID, key string) error {
+	rc.kv.Evict(key)
+	return rc.rsds.Delete(caller, key, false)
+}
+
+// isEphemeralKey reports whether key belongs to a live pipeline's
+// intermediates (callers hold statsMu; the pipelines map has its own
+// lock discipline via rc.mu, so read without it here is avoided by
+// checking the conventional prefix the pipelines use).
+func (rc *RCLib) isEphemeralKey(key string) bool {
+	return strings.HasPrefix(key, "pl/")
+}
+
+// PipelineDone implements faas.PipelineAware: intermediate objects of
+// the pipeline are removed from the cache (not persisted) once the
+// pipeline completes (§6.3).
+func (rc *RCLib) PipelineDone(pipeline string) {
+	rc.mu.Lock()
+	keys := rc.pipelines[pipeline]
+	delete(rc.pipelines, pipeline)
+	rc.mu.Unlock()
+	for _, key := range keys {
+		if rc.evictChunked(key) {
+			continue
+		}
+		rc.kv.Evict(key)
+	}
+}
+
+// WriteBackNow synchronously persists one dirty cached object (used by
+// the CacheAgent when reclaiming space). Returns false when the object
+// is not dirty or vanished.
+func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
+	blob, meta, err := rc.kv.Read(node, key)
+	if err != nil || meta.Tags["dirty"] != "1" {
+		return false
+	}
+	version, _ := strconv.ParseUint(meta.Tags["version"], 10, 64)
+	if version == 0 {
+		// Relaxed-mode object: no shadow was created; plain put.
+		rc.rsds.Put(node, key, blob, nil, false)
+	} else if rc.rsds.PersistPayload(node, key, blob, version) != nil {
+		return false
+	}
+	rc.statsMu.Lock()
+	rc.writeBacks++
+	rc.statsMu.Unlock()
+	rc.resolvePending(key)
+	return true
+}
+
+// EstimateRSDS returns the modeled uncached Extract/Load cost of ops
+// accesses moving size bytes in total, for caching-benefit labels when
+// the real access was served from the cache.
+func (rc *RCLib) EstimateRSDS(ops, size int64, write bool) time.Duration {
+	if ops < 1 {
+		ops = 1
+	}
+	p := rc.rsds.Profile()
+	if write {
+		return time.Duration(ops)*p.WriteBase + time.Duration(float64(size)/p.WriteBW*float64(time.Second))
+	}
+	return time.Duration(ops)*p.ReadBase + time.Duration(float64(size)/p.ReadBW*float64(time.Second))
+}
+
+// CacheStats reports proxy counters.
+type CacheStats struct {
+	Hits, LocalHits, Misses int64
+	EphemHits, EphemMisses  int64
+	Admissions, WriteBacks  int64
+	BypassWrites            int64
+	EphemeralBytes          int64
+}
+
+// Stats returns a snapshot of the proxy counters.
+func (rc *RCLib) Stats() CacheStats {
+	rc.statsMu.Lock()
+	defer rc.statsMu.Unlock()
+	return CacheStats{
+		Hits: rc.hits, LocalHits: rc.localHits, Misses: rc.misses,
+		EphemHits: rc.ephemHits, EphemMisses: rc.ephemMisses,
+		Admissions: rc.admissions, WriteBacks: rc.writeBacks,
+		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
+	}
+}
+
+// InputHitRatio is the hit ratio over non-pipeline-intermediate
+// accesses — the quantity that collapses in the 24-tenant run.
+func (rc *RCLib) InputHitRatio() float64 {
+	rc.statsMu.Lock()
+	defer rc.statsMu.Unlock()
+	hits := rc.hits - rc.ephemHits
+	total := hits + rc.misses - rc.ephemMisses
+	if total <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// HitRatio returns hits/(hits+misses), or 0 with no traffic.
+func (rc *RCLib) HitRatio() float64 {
+	rc.statsMu.Lock()
+	defer rc.statsMu.Unlock()
+	total := rc.hits + rc.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(rc.hits) / float64(total)
+}

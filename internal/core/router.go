@@ -1,0 +1,96 @@
+package core
+
+import (
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
+)
+
+// Router implements OFC's request routing (§6.5) as a faas.Router.
+//
+// A warm idle sandbox is always preferred (avoid cold starts); among
+// several, selection follows the paper's priority order: (i) smallest
+// gap between the sandbox's current memory and the predicted need,
+// (ii) available node memory when the sandbox must grow, (iii) data
+// locality (node mastering the requested object), (iv) most recently
+// used sandbox. When a new sandbox is needed, the node mastering the
+// in-memory cached copy of the input object is preferred if it has
+// sufficient resources.
+type Router struct {
+	kv *kvstore.Cluster
+}
+
+// NewRouter builds the OFC routing policy over the cache cluster.
+func NewRouter(kv *kvstore.Cluster) *Router { return &Router{kv: kv} }
+
+// Route implements faas.Router.
+func (r *Router) Route(req *faas.Request, all []*faas.Invoker, warmIdle []*faas.Invoker) *faas.Invoker {
+	wanted := req.PredictedMem()
+	if wanted == 0 {
+		wanted = req.Function.MemoryBooked
+	}
+	var dataNode = -1
+	if len(req.InputKeys) > 0 {
+		if m, ok := r.kv.MasterOf(req.InputKeys[0]); ok {
+			dataNode = int(m)
+		}
+	}
+
+	if len(warmIdle) > 0 {
+		best := warmIdle[0]
+		bestMem, _ := best.IdleSandboxMem(req.Function, wanted)
+		for _, cand := range warmIdle[1:] {
+			mem, _ := cand.IdleSandboxMem(req.Function, wanted)
+			if better(req, wanted, dataNode, cand, mem, best, bestMem) {
+				best, bestMem = cand, mem
+			}
+		}
+		return best
+	}
+
+	// New sandbox: prefer the node holding the master copy of the
+	// input object if it has the resources (counting cache memory the
+	// governor can reclaim).
+	if dataNode >= 0 {
+		for _, inv := range all {
+			if int(inv.Node()) == dataNode && inv.Capacity()-inv.Reserved() >= wanted {
+				return inv
+			}
+		}
+	}
+	// Fall back to the platform's default (home hashing) by returning
+	// nil.
+	return nil
+}
+
+// better applies the §6.5 priority order between two candidate warm
+// invokers.
+func better(req *faas.Request, wanted int64, dataNode int, cand *faas.Invoker, candMem int64, best *faas.Invoker, bestMem int64) bool {
+	// (i) smallest |current - wanted|.
+	cGap, bGap := abs64(candMem-wanted), abs64(bestMem-wanted)
+	if cGap != bGap {
+		return cGap < bGap
+	}
+	// (ii) available memory if the sandbox must grow.
+	if candMem < wanted || bestMem < wanted {
+		cFree, bFree := cand.FreeForSandboxes()+cand.CacheGrant(), best.FreeForSandboxes()+best.CacheGrant()
+		if cFree != bFree {
+			return cFree > bFree
+		}
+	}
+	// (iii) data locality.
+	cLocal := int(cand.Node()) == dataNode
+	bLocal := int(best.Node()) == dataNode
+	if cLocal != bLocal {
+		return cLocal
+	}
+	// (iv) keep the platform's order otherwise (most recently used is
+	// already the invoker's internal idle-sandbox preference).
+	return false
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

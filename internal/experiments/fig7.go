@@ -1,0 +1,293 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/workload"
+)
+
+// Scenario is one bar group of Figure 7.
+type Scenario int
+
+const (
+	// ScenSwift is OWK-Swift (worst-case data access).
+	ScenSwift Scenario = iota
+	// ScenRedis is OWK-Redis (best-case data access).
+	ScenRedis
+	// ScenLH is OFC with the input cached on the executing node.
+	ScenLH
+	// ScenM is OFC with a cold cache (miss).
+	ScenM
+	// ScenRH is OFC with the input cached on a different node.
+	ScenRH
+)
+
+// String names the scenario as in the figure legend.
+func (s Scenario) String() string {
+	switch s {
+	case ScenSwift:
+		return "Swift"
+	case ScenRedis:
+		return "Redis"
+	case ScenLH:
+		return "LH"
+	case ScenM:
+		return "M"
+	default:
+		return "RH"
+	}
+}
+
+// Figure7Row is one stacked bar.
+type Figure7Row struct {
+	Workload string
+	Size     int64
+	Scenario Scenario
+	E, T, L  time.Duration
+}
+
+// Total sums the phases.
+func (r Figure7Row) Total() time.Duration { return r.E + r.T + r.L }
+
+// fig7SingleStage lists the six image functions shown in Figure 7.
+var fig7SingleStage = []string{"wand_blur", "wand_resize", "wand_sepia", "wand_rotate", "wand_denoise", "wand_edge"}
+
+// singleSizes returns the input-size grid.
+func singleSizes(quick bool) []int64 {
+	if quick {
+		return []int64{16 << 10}
+	}
+	return []int64{1 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}
+}
+
+// measureSingle runs one (function, size, scenario) cell on a fresh
+// deployment and returns its phase durations.
+func measureSingle(specName string, size int64, scen Scenario, seed int64) Figure7Row {
+	spec := workload.SpecByName(specName)
+	mode := ModeOFC
+	switch scen {
+	case ScenSwift:
+		mode = ModeSwift
+	case ScenRedis:
+		mode = ModeRedis
+	}
+	cfg := DefaultDeploy()
+	cfg.Seed = seed
+	d := NewDeployment(mode, cfg)
+	fn := d.Suite.Build(spec, "fig7", 0)
+	d.Register(fn)
+	rng := rand.New(rand.NewSource(seed))
+	pool := workload.NewInputPool(rng, spec.InputType, fmt.Sprintf("f7/%s/%d/%d", specName, size, scen), []int64{size}, 1)
+	if mode == ModeOFC {
+		d.Pretrain(spec, fn, pool, 400)
+	}
+	args := spec.GenArgs(rng)
+	row := Figure7Row{Workload: specName, Size: size, Scenario: scen}
+	d.Run(func() {
+		pool.Stage(d.Writer)
+		in := pool.Inputs[0]
+		req := func() *faas.Request { return workload.NewRequest(fn, spec, in, args) }
+		switch scen {
+		case ScenSwift, ScenRedis:
+			d.Platform.Invoke(req()) // warm the sandbox
+			res := d.Platform.Invoke(req())
+			row.E, row.T, row.L = res.Extract, res.Transform, res.Load
+		case ScenM:
+			res := d.Platform.Invoke(req())
+			row.E, row.T, row.L = res.Extract, res.Transform, res.Load
+		case ScenLH:
+			d.Platform.Invoke(req()) // miss + admission
+			d.Env.Sleep(2 * time.Second)
+			res := d.Platform.Invoke(req())
+			row.E, row.T, row.L = res.Extract, res.Transform, res.Load
+		case ScenRH:
+			restore := d.PinTo(d.Workers[0])
+			d.Platform.Invoke(req()) // admit on worker 0
+			restore()
+			d.Env.Sleep(2 * time.Second)
+			restore = d.PinTo(d.Workers[1])
+			res := d.Platform.Invoke(req())
+			restore()
+			row.E, row.T, row.L = res.Extract, res.Transform, res.Load
+		}
+	})
+	return row
+}
+
+// pipelineBuilder builds one of the four multi-stage applications.
+type pipelineBuilder struct {
+	name  string
+	sizes []int64
+	quick []int64
+	build func(su *workload.Suite) *workload.Pipeline
+}
+
+func fig7Pipelines() []pipelineBuilder {
+	return []pipelineBuilder{
+		{name: "map_reduce", sizes: []int64{5 << 20, 10 << 20, 20 << 20, 30 << 20}, quick: []int64{10 << 20},
+			build: func(su *workload.Suite) *workload.Pipeline {
+				return workload.NewMapReduce(su, "fig7", workload.ProfileNormal, 2<<30)
+			}},
+		{name: "THIS", sizes: []int64{125 << 20, 300 << 20}, quick: []int64{50 << 20},
+			build: func(su *workload.Suite) *workload.Pipeline {
+				return workload.NewTHIS(su, "fig7", workload.ProfileNormal, 2<<30)
+			}},
+		{name: "IMAD", sizes: []int64{2 << 20, 8 << 20, 16 << 20}, quick: []int64{8 << 20},
+			build: func(su *workload.Suite) *workload.Pipeline {
+				return workload.NewIMAD(su, "fig7", workload.ProfileNormal, 2<<30)
+			}},
+		{name: "ImageProcessing", sizes: []int64{64 << 10, 256 << 10, 1 << 20}, quick: []int64{256 << 10},
+			build: func(su *workload.Suite) *workload.Pipeline {
+				return workload.NewImageProcessing(su, "fig7", workload.ProfileNormal, 2<<30)
+			}},
+	}
+}
+
+// measurePipeline runs one (pipeline, size, scenario) cell.
+func measurePipeline(pb pipelineBuilder, size int64, scen Scenario, seed int64) Figure7Row {
+	mode := ModeOFC
+	switch scen {
+	case ScenSwift:
+		mode = ModeSwift
+	case ScenRedis:
+		mode = ModeRedis
+	}
+	cfg := DefaultDeploy()
+	cfg.Seed = seed
+	d := NewDeployment(mode, cfg)
+	pl := pb.build(d.Suite)
+	for _, fn := range pl.Funcs {
+		d.Register(fn)
+	}
+	if mode == ModeOFC {
+		pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 300, rand.New(rand.NewSource(seed)))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pool := workload.NewInputPool(rng, pl.InputType, fmt.Sprintf("f7p/%s/%d/%d", pb.name, size, scen), []int64{size}, 1)
+	row := Figure7Row{Workload: pb.name, Size: size, Scenario: scen}
+	d.Run(func() {
+		in := pool.Inputs[0]
+		pl.StageInput(d.Writer, in)
+		record := func(res *workload.PipelineResult) {
+			row.E, row.T, row.L = res.Phases()
+		}
+		switch scen {
+		case ScenSwift, ScenRedis, ScenM:
+			record(pl.Run(d.Platform, in, "f7-a"))
+		case ScenLH:
+			pl.Run(d.Platform, in, "f7-warm")
+			d.Env.Sleep(2 * time.Second)
+			record(pl.Run(d.Platform, in, "f7-b"))
+		case ScenRH:
+			restore := d.PinTo(d.Workers[0])
+			pl.Run(d.Platform, in, "f7-warm")
+			restore()
+			d.Env.Sleep(2 * time.Second)
+			restore = d.PinTo(d.Workers[1])
+			record(pl.Run(d.Platform, in, "f7-b"))
+			restore()
+		}
+	})
+	return row
+}
+
+// Figure7 sweeps the six single-stage functions and the four pipelines
+// across the five scenarios.
+func Figure7(quick bool, seed int64) (*Table, []Figure7Row) {
+	var rows []Figure7Row
+	scens := []Scenario{ScenSwift, ScenRedis, ScenLH, ScenM, ScenRH}
+	for _, name := range fig7SingleStage {
+		for _, size := range singleSizes(quick) {
+			for _, sc := range scens {
+				rows = append(rows, measureSingle(name, size, sc, seed))
+			}
+		}
+	}
+	for _, pb := range fig7Pipelines() {
+		sizes := pb.sizes
+		if quick {
+			sizes = pb.quick
+		}
+		for _, size := range sizes {
+			for _, sc := range scens {
+				rows = append(rows, measurePipeline(pb, size, sc, seed))
+			}
+		}
+	}
+	t := &Table{
+		Title:   "Figure 7 — ETL phase durations across OWK-Swift / OWK-Redis / OFC {LH, M, RH}",
+		Headers: []string{"Workload", "Input", "Scenario", "E", "T", "L", "Total", "vs Swift"},
+	}
+	base := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Scenario == ScenSwift {
+			base[fmt.Sprintf("%s/%d", r.Workload, r.Size)] = r.Total()
+		}
+	}
+	for _, r := range rows {
+		b := base[fmt.Sprintf("%s/%d", r.Workload, r.Size)]
+		t.Add(r.Workload, fmtSize(r.Size), r.Scenario.String(), r.E, r.T, r.L, r.Total(),
+			fmt.Sprintf("%+.1f%%", -improvement(b, r.Total())*100))
+	}
+	return t, rows
+}
+
+// Figure7Replicated mirrors the paper's methodology ("we run each
+// experiment 5 times and report the average"): the quick Figure 7 grid
+// across several seeds, reporting mean and range of the LH improvement
+// per workload.
+func Figure7Replicated(seeds []int64) *Table {
+	t := &Table{
+		Title:   "Figure 7 (replicated) — LH improvement vs Swift, mean [min..max] across seeds",
+		Headers: []string{"Workload", "Input", "Mean", "Min", "Max"},
+	}
+	type cell struct{ imps []float64 }
+	cells := map[string]*cell{}
+	var order []string
+	for _, seed := range seeds {
+		_, rows := Figure7(true, seed)
+		base := map[string]time.Duration{}
+		for _, r := range rows {
+			if r.Scenario == ScenSwift {
+				base[fmt.Sprintf("%s/%d", r.Workload, r.Size)] = r.Total()
+			}
+		}
+		for _, r := range rows {
+			if r.Scenario != ScenLH {
+				continue
+			}
+			key := fmt.Sprintf("%s/%d", r.Workload, r.Size)
+			c := cells[key]
+			if c == nil {
+				c = &cell{}
+				cells[key] = c
+				order = append(order, key)
+			}
+			c.imps = append(c.imps, improvement(base[key], r.Total()))
+		}
+	}
+	for _, key := range order {
+		c := cells[key]
+		mean, min, max := 0.0, c.imps[0], c.imps[0]
+		for _, v := range c.imps {
+			mean += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		mean /= float64(len(c.imps))
+		parts := strings.SplitN(key, "/", 2)
+		sizeB := int64(0)
+		fmt.Sscan(parts[1], &sizeB)
+		t.Add(parts[0], fmtSize(sizeB), pct(mean), pct(min), pct(max))
+	}
+	t.Note = fmt.Sprintf("%d seeds; the paper averages 5 runs", len(seeds))
+	return t
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ofc/internal/core"
+	"ofc/internal/faas"
+	"ofc/internal/workload"
+)
+
+// MacroConfig shapes a §7.2.2 macro run.
+type MacroConfig struct {
+	Mode Mode // ModeOFC or ModeSwift
+	// TenantsPerWorkload is 1 for the 8-tenant experiment, 3 for the
+	// 24-tenant one.
+	TenantsPerWorkload int
+	Profile            workload.TenantProfile
+	Window             time.Duration
+	MeanInterval       time.Duration
+	Seed               int64
+	NodeCapacity       int64
+	// PoolPerSize is the number of distinct inputs per size bucket in
+	// each tenant's dataset (more inputs → more compulsory misses).
+	PoolPerSize int
+	// SampleCacheEvery drives the Figure 10 series (OFC only).
+	SampleCacheEvery time.Duration
+}
+
+// DefaultMacroConfig is the paper's setup: 8 tenants, 30 minutes,
+// exponential arrivals with a 1-minute mean.
+func DefaultMacroConfig() MacroConfig {
+	return MacroConfig{
+		Mode:               ModeOFC,
+		TenantsPerWorkload: 1,
+		Profile:            workload.ProfileNormal,
+		Window:             30 * time.Minute,
+		MeanInterval:       time.Minute,
+		Seed:               1,
+		// The paper's workers have 512 GB each; 256 GB per worker keeps
+		// even naive 2 GB bookings uncontended the way the testbed was.
+		NodeCapacity:     256 << 30,
+		PoolPerSize:      3,
+		SampleCacheEvery: 30 * time.Second,
+	}
+}
+
+// CachePoint is one Figure 10 sample: the hoarded cache capacity
+// (what the paper plots) and the bytes actually cached.
+type CachePoint struct {
+	At    time.Duration
+	Grant int64
+	Bytes int64
+}
+
+// MacroResult aggregates one macro run.
+type MacroResult struct {
+	Config      MacroConfig
+	Reports     []workload.TenantReport
+	CacheSeries []CachePoint
+	// OFC-only internals (Table 2).
+	Agent         core.AgentMetrics
+	GoodPred      int64
+	BadPred       int64
+	HitRatio      float64
+	InputHitRatio float64
+	Ephemeral     int64
+	Platform      faas.Stats
+}
+
+// TotalExec sums all tenants' execution time.
+func (m *MacroResult) TotalExec() time.Duration {
+	var t time.Duration
+	for _, r := range m.Reports {
+		t += r.TotalExec
+	}
+	return t
+}
+
+// macroWorkloads is the fixed tenant mix of Figure 9: six image
+// functions, MapReduce and THIS.
+var macroSingle = []string{"wand_blur", "wand_resize", "wand_sepia", "wand_rotate", "wand_denoise", "wand_edge"}
+
+// RunMacro executes one macro experiment.
+func RunMacro(cfg MacroConfig) *MacroResult {
+	dep := DefaultDeploy()
+	dep.Seed = cfg.Seed
+	dep.NodeCapacity = cfg.NodeCapacity
+	d := NewDeployment(cfg.Mode, dep)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fl := workload.NewFaaSLoad(d.Env, d.Platform, cfg.Seed+7)
+
+	type staged struct {
+		pool *workload.InputPool
+		pl   *workload.Pipeline
+	}
+	var all []staged
+
+	for rep := 0; rep < cfg.TenantsPerWorkload; rep++ {
+		for _, name := range macroSingle {
+			spec := workload.SpecByName(name)
+			tenant := fmt.Sprintf("%s-%d", name, rep)
+			perSize := cfg.PoolPerSize
+			if perSize <= 0 {
+				perSize = 3
+			}
+			pool := workload.NewInputPool(rng, spec.InputType, "macro/"+tenant,
+				[]int64{1 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10}, perSize)
+			booked := workload.BookedMem(cfg.Profile, spec.MaxMem(pool, rng), 2<<30)
+			fn := d.Suite.Build(spec, tenant, booked)
+			d.Register(fn)
+			if cfg.Mode == ModeOFC {
+				d.Pretrain(spec, fn, pool, 300)
+			}
+			fl.AddFunctionTenant(tenant, spec, fn, pool, cfg.MeanInterval, false)
+			all = append(all, staged{pool: pool})
+		}
+		mrTenant := fmt.Sprintf("map_reduce-%d", rep)
+		mr := workload.NewMapReduce(d.Suite, mrTenant, cfg.Profile, 2<<30)
+		mrPool := workload.NewInputPool(rng, "text", "macro/"+mrTenant, []int64{10 << 20}, 2)
+		registerPipeline(d, mr, cfg, rng)
+		fl.AddPipelineTenant(mrTenant, mr, mrPool, cfg.MeanInterval, false)
+		all = append(all, staged{pool: mrPool, pl: mr})
+
+		thisTenant := fmt.Sprintf("THIS-%d", rep)
+		th := workload.NewTHIS(d.Suite, thisTenant, cfg.Profile, 2<<30)
+		thPool := workload.NewInputPool(rng, "video", "macro/"+thisTenant, []int64{50 << 20}, 2)
+		registerPipeline(d, th, cfg, rng)
+		fl.AddPipelineTenant(thisTenant, th, thPool, cfg.MeanInterval, false)
+		all = append(all, staged{pool: thPool, pl: th})
+	}
+
+	res := &MacroResult{Config: cfg}
+
+	d.Env.SetHorizon(cfg.Window + 3*time.Minute)
+	if d.Sys != nil {
+		d.Sys.Start()
+		if cfg.SampleCacheEvery > 0 {
+			d.Env.Every(cfg.SampleCacheEvery, func() bool {
+				res.CacheSeries = append(res.CacheSeries, CachePoint{
+					At:    time.Duration(d.Env.Now()),
+					Grant: d.Sys.CacheGrantBytes(),
+					Bytes: d.Sys.CacheBytes(),
+				})
+				return true
+			})
+		}
+	}
+	d.Env.Go(func() {
+		for _, st := range all {
+			if st.pl != nil {
+				for _, in := range st.pool.Inputs {
+					st.pl.StageInput(d.Writer, in)
+				}
+			} else {
+				st.pool.Stage(d.Writer)
+			}
+		}
+		fl.Start(cfg.Window)
+	})
+	d.Env.Run()
+
+	res.Reports = fl.Reports()
+	res.Platform = d.Platform.Stats()
+	if d.Sys != nil {
+		res.Agent = d.Sys.AggregateAgentMetrics()
+		res.GoodPred, res.BadPred = d.Sys.PredictionCounts()
+		res.HitRatio = d.Sys.RC.HitRatio()
+		res.InputHitRatio = d.Sys.RC.InputHitRatio()
+		res.Ephemeral = d.Sys.RC.Stats().EphemeralBytes
+	}
+	return res
+}
+
+func registerPipeline(d *Deployment, pl *workload.Pipeline, cfg MacroConfig, rng *rand.Rand) {
+	for _, fn := range pl.Funcs {
+		d.Register(fn)
+	}
+	if cfg.Mode == ModeOFC && d.Sys != nil {
+		pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rng)
+	}
+}
+
+// Figure9 runs the three tenant profiles under OWK-Swift and OFC and
+// tabulates per-tenant total execution times; it returns the OFC runs
+// for Figure 10 / Table 2 consumption.
+func Figure9(window time.Duration, seed int64) (*Table, map[string][2]*MacroResult) {
+	profiles := []workload.TenantProfile{workload.ProfileNormal, workload.ProfileNaive, workload.ProfileAdvanced}
+	t := &Table{
+		Title:   "Figure 9 — sum of execution times per tenant (macro, 8 tenants)",
+		Headers: []string{"Tenant", "Profile", "OWK-Swift", "OFC", "Improvement"},
+	}
+	out := map[string][2]*MacroResult{}
+	for _, prof := range profiles {
+		base := DefaultMacroConfig()
+		base.Window = window
+		base.Profile = prof
+		base.Seed = seed
+
+		swiftCfg := base
+		swiftCfg.Mode = ModeSwift
+		swiftRes := RunMacro(swiftCfg)
+
+		ofcCfg := base
+		ofcCfg.Mode = ModeOFC
+		ofcRes := RunMacro(ofcCfg)
+
+		out[prof.String()] = [2]*MacroResult{swiftRes, ofcRes}
+		for i, sr := range swiftRes.Reports {
+			or := ofcRes.Reports[i]
+			t.Add(sr.Name, prof.String(), sr.TotalExec, or.TotalExec,
+				pct(improvement(sr.TotalExec, or.TotalExec)))
+		}
+	}
+	t.Note = "paper: OFC improves every function, 23.9–79.8% (54.6% average); naive slightly better than advanced"
+	return t, out
+}
+
+// Figure10 renders the cache-size series of the OFC macro runs.
+func Figure10(runs map[string][2]*MacroResult) *Table {
+	t := &Table{
+		Title:   "Figure 10 — OFC cache capacity over time per tenant profile",
+		Note:    "paper: naive ≥ normal ≥ advanced, fluctuating with sandbox churn",
+		Headers: []string{"Time", "normal (GB)", "naive (GB)", "advanced (GB)"},
+	}
+	var series [3][]CachePoint
+	for i, p := range []string{"normal", "naive", "advanced"} {
+		if r, ok := runs[p]; ok && r[1] != nil {
+			series[i] = r[1].CacheSeries
+		}
+	}
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	gb := func(s []CachePoint, i int) string {
+		if i >= len(s) {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", float64(s[i].Grant)/float64(1<<30))
+	}
+	for i := 0; i < n; i++ {
+		var at time.Duration
+		for _, s := range series {
+			if i < len(s) {
+				at = s[i].At
+				break
+			}
+		}
+		t.Add(at, gb(series[0], i), gb(series[1], i), gb(series[2], i))
+	}
+	return t
+}
+
+// Table2 renders the OFC internal metrics of the macro runs.
+func Table2(runs map[string][2]*MacroResult) *Table {
+	t := &Table{
+		Title:   "Table 2 — OFC internal metrics (macro, 8 tenants)",
+		Headers: []string{"Metric", "Normal", "Naive", "Advanced"},
+	}
+	get := func(p string) *MacroResult {
+		if r, ok := runs[p]; ok {
+			return r[1]
+		}
+		return &MacroResult{}
+	}
+	n, v, a := get("normal"), get("naive"), get("advanced")
+	row := func(name string, f func(*MacroResult) interface{}) {
+		t.Add(name, f(n), f(v), f(a))
+	}
+	row("# Scale up", func(m *MacroResult) interface{} { return m.Agent.ScaleUps })
+	row("Total scale up time (s)", func(m *MacroResult) interface{} {
+		return fmt.Sprintf("%.1f", m.Agent.ScaleUpTime.Seconds())
+	})
+	row("# Scale down (no eviction)", func(m *MacroResult) interface{} { return m.Agent.ScaleDownNoEviction })
+	row("# Scale down (migration)", func(m *MacroResult) interface{} { return m.Agent.ScaleDownMigration })
+	row("# Scale down (eviction)", func(m *MacroResult) interface{} { return m.Agent.ScaleDownEviction })
+	row("Total scale down time (s)", func(m *MacroResult) interface{} {
+		return fmt.Sprintf("%.1f", m.Agent.ScaleDownTime.Seconds())
+	})
+	row("# Bad predictions", func(m *MacroResult) interface{} { return m.BadPred })
+	row("# Good predictions", func(m *MacroResult) interface{} { return m.GoodPred })
+	row("# Failed invocations", func(m *MacroResult) interface{} { return m.Platform.Failures })
+	row("Cache hit ratio (%)", func(m *MacroResult) interface{} {
+		return fmt.Sprintf("%.2f", m.HitRatio*100)
+	})
+	row("Ephemeral data generated (GB)", func(m *MacroResult) interface{} {
+		return fmt.Sprintf("%.1f", float64(m.Ephemeral)/float64(1<<30))
+	})
+	return t
+}
+
+// Macro24 reproduces the 24-tenant variant (§7.2.2 end): lower hit
+// ratio, smaller but still positive improvements, no failures. The
+// node capacity is reduced so 24 tenants actually contend for memory.
+func Macro24(window time.Duration, seed int64) (*Table, *MacroResult, *MacroResult) {
+	base := DefaultMacroConfig()
+	base.Window = window
+	base.Seed = seed
+	base.TenantsPerWorkload = 3
+	// Same hardware, 3× the tenants and much more distinct data: the
+	// hit ratio drops through compulsory misses (the paper's §7.2.2
+	// 24-tenant observation), while memory stays uncontended (no
+	// failed invocations).
+	base.PoolPerSize = 10
+	base.Profile = workload.ProfileNormal
+
+	swiftCfg := base
+	swiftCfg.Mode = ModeSwift
+	swiftRes := RunMacro(swiftCfg)
+	ofcCfg := base
+	ofcCfg.Mode = ModeOFC
+	ofcRes := RunMacro(ofcCfg)
+
+	t := &Table{
+		Title:   "§7.2.2 — 24-tenant macro (3 tenants per workload)",
+		Headers: []string{"Tenant", "OWK-Swift", "OFC", "Improvement"},
+	}
+	for i, sr := range swiftRes.Reports {
+		or := ofcRes.Reports[i]
+		t.Add(sr.Name, sr.TotalExec, or.TotalExec, pct(improvement(sr.TotalExec, or.TotalExec)))
+	}
+	t.Note = fmt.Sprintf("hit ratio %.1f%% overall, %.1f%% on input objects (paper: drops to ≈32.3%%); failed invocations: %d (paper: 0)",
+		ofcRes.HitRatio*100, ofcRes.InputHitRatio*100, ofcRes.Platform.Failures)
+	return t, swiftRes, ofcRes
+}

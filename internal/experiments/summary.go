@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// Summary produces the one-screen reproduction scorecard: every
+// headline quantity of the paper next to this repository's measured
+// value, using quick experiment configurations (~1 minute total).
+func Summary(seed int64) *Table {
+	t := &Table{
+		Title:   "Reproduction scorecard — paper vs this repository",
+		Headers: []string{"Quantity", "Paper", "Measured"},
+	}
+
+	// Motivation: E&L share on an S3-like store.
+	_, f3 := Figure3(seed)
+	var s3Share, mrShare float64
+	for _, r := range f3 {
+		if r.Workload == "sharp_resize" && r.Size == 128<<10 && r.Backend == "S3" {
+			s3Share = r.ELShare()
+		}
+		if r.Workload == "map_reduce" && r.Size == 30<<20 && r.Backend == "S3" {
+			mrShare = r.ELShare()
+		}
+	}
+	t.Add("E&L share, sharp_resize 128kB on S3", "up to 97%", pct(s3Share))
+	t.Add("E&L share, map_reduce 30MB on S3", "≈52%", pct(mrShare))
+
+	// ML: J48 accuracy at 16 MB (quick CV) and benefit classifier.
+	cfg := Table1Config{SamplesPerFunction: 200, Folds: 5, ForestSize: 8, Seed: seed}
+	tab1 := Table1(cfg)
+	for _, row := range tab1.Rows {
+		if row[0] == "16MB" && row[1] == "J48" {
+			t.Add("J48 exact/EO accuracy @16MB", "83.4% / 92.7%", row[2]+"% / "+row[3]+"%")
+		}
+	}
+	_, benefit := CacheBenefit(200, seed)
+	t.Add("benefit classifier F-measure", "0.987", fmt.Sprintf("%.3f", benefit.F1))
+
+	// Maturation.
+	_, mat := Maturation(seed)
+	t.Add("maturation median (invocations)", "100", fmt.Sprint(mat.Median))
+
+	// Figure 7 headline improvements (quick grid).
+	_, rows := Figure7(true, seed)
+	base := map[string]time.Duration{}
+	for _, r := range rows {
+		if r.Scenario == ScenSwift {
+			base[r.Workload] = r.Total()
+		}
+	}
+	var bestSingle, bestPipe float64
+	for _, r := range rows {
+		if r.Scenario != ScenLH {
+			continue
+		}
+		imp := improvement(base[r.Workload], r.Total())
+		switch r.Workload {
+		case "map_reduce", "THIS", "IMAD", "ImageProcessing":
+			if imp > bestPipe {
+				bestPipe = imp
+			}
+		default:
+			if imp > bestSingle {
+				bestSingle = imp
+			}
+		}
+	}
+	t.Add("best single-stage LH vs Swift", "−82%", "−"+pct(bestSingle))
+	t.Add("best pipeline LH vs Swift", "−60%", "−"+pct(bestPipe))
+
+	// Micro constants.
+	_, f8 := Figure8(seed)
+	for _, r := range f8 {
+		if r.Scenario == "Sc1" && r.Size == 1<<10 {
+			t.Add("cache shrink, no data movement (Sc1)", "≈289µs", fmtDur(r.ScalingTime))
+		}
+	}
+	_, mig := MigrationSeries(seed)
+	t.Add("promotion of 1GB aggregate", "13.5ms", fmtDur(mig[1<<30]))
+
+	// Quick macro.
+	mc := DefaultMacroConfig()
+	mc.Window = 8 * time.Minute
+	mc.Seed = seed
+	swift := mc
+	swift.Mode = ModeSwift
+	sres := RunMacro(swift)
+	ores := RunMacro(mc)
+	t.Add("macro improvement (8 tenants)", "23.9–79.8%", pct(improvement(sres.TotalExec(), ores.TotalExec()))+" (aggregate)")
+	t.Add("macro cache hit ratio", "93.1–98.9%", pct(ores.HitRatio))
+	t.Add("macro failed invocations", "0", fmt.Sprint(ores.Platform.Failures))
+
+	return t
+}

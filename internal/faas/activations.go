@@ -1,0 +1,119 @@
+package faas
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// OpenWhisk records every invocation as an "activation" queryable
+// later (`wsk activation list/get`). The platform keeps a bounded
+// in-memory activation log with the same shape.
+
+// Activation is the queryable record of one invocation.
+type Activation struct {
+	ID       string
+	Function string
+	Start    time.Duration
+	End      time.Duration
+	Duration time.Duration
+	Node     int
+	Cold     bool
+	Retried  bool
+	Rescued  bool
+	Error    string
+	// Phase breakdown (an OFC addition to the record).
+	Extract, Transform, Load time.Duration
+	PeakMemMB                int64
+	SandboxMemMB             int64
+}
+
+// activationLog is a bounded ring of activations.
+type activationLog struct {
+	mu   sync.Mutex
+	next uint64
+	ring []Activation
+	cap  int
+}
+
+const defaultActivationCap = 4096
+
+func newActivationLog(capacity int) *activationLog {
+	if capacity <= 0 {
+		capacity = defaultActivationCap
+	}
+	return &activationLog{cap: capacity}
+}
+
+// record appends an activation, evicting the oldest past capacity.
+func (l *activationLog) record(a Activation) string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.next++
+	a.ID = fmt.Sprintf("act-%08d", l.next)
+	if len(l.ring) >= l.cap {
+		copy(l.ring, l.ring[1:])
+		l.ring[len(l.ring)-1] = a
+	} else {
+		l.ring = append(l.ring, a)
+	}
+	return a.ID
+}
+
+// list returns up to n most recent activations, newest first.
+func (l *activationLog) list(n int) []Activation {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > len(l.ring) {
+		n = len(l.ring)
+	}
+	out := make([]Activation, 0, n)
+	for i := len(l.ring) - 1; i >= len(l.ring)-n; i-- {
+		out = append(out, l.ring[i])
+	}
+	return out
+}
+
+// get finds an activation by id.
+func (l *activationLog) get(id string) (Activation, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := len(l.ring) - 1; i >= 0; i-- {
+		if l.ring[i].ID == id {
+			return l.ring[i], true
+		}
+	}
+	return Activation{}, false
+}
+
+// recordActivation files the result of a completed invocation.
+func (p *Platform) recordActivation(req *Request, res *Result) string {
+	a := Activation{
+		Function: req.Function.ID(),
+		Start:    time.Duration(res.Start),
+		End:      time.Duration(res.End),
+		Duration: res.Duration(),
+		Node:     int(res.Node),
+		Cold:     res.ColdStart,
+		Retried:  res.Retried,
+		Rescued:  res.Rescued,
+		Extract:  res.Extract, Transform: res.Transform, Load: res.Load,
+		PeakMemMB:    res.PeakMem >> 20,
+		SandboxMemMB: res.SandboxMem >> 20,
+	}
+	if res.Err != nil {
+		a.Error = res.Err.Error()
+	}
+	return p.activations.record(a)
+}
+
+// Activations returns up to n most recent activation records, newest
+// first (n ≤ 0 returns all retained).
+func (p *Platform) Activations(n int) []Activation {
+	return p.activations.list(n)
+}
+
+// Activation looks one record up by id.
+func (p *Platform) Activation(id string) (Activation, bool) {
+	return p.activations.get(id)
+}

@@ -1,0 +1,47 @@
+package faas
+
+import (
+	"testing"
+
+	"ofc/internal/kvstore"
+)
+
+// BenchmarkWarmInvocation measures the host cost of a full warm
+// invocation through the platform (controller, routing, sandbox,
+// body, storage).
+func BenchmarkWarmInvocation(b *testing.B) {
+	tb := newTestbed(1, 64<<30)
+	fn := etlFn("bench", 0, 80<<20)
+	tb.p.Register(fn)
+	tb.env.Go(func() {
+		tb.store.Put(2, "in/a", kvstore.Synthetic(16<<10), nil, false)
+		req := &Request{Function: fn, InputKeys: []string{"in/a"}}
+		tb.p.Invoke(req) // warm up
+		for i := 0; i < b.N; i++ {
+			if res := tb.p.Invoke(&Request{Function: fn, InputKeys: []string{"in/a"}}); res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	})
+	b.ResetTimer()
+	tb.env.Run()
+}
+
+// BenchmarkParallelFanOut measures a 16-wide parallel stage.
+func BenchmarkParallelFanOut(b *testing.B) {
+	tb := newTestbed(1, 64<<30)
+	fn := &Function{Name: "fan", Tenant: "t", MemoryBooked: 128 << 20,
+		Body: func(ctx *Ctx) error { return nil }}
+	tb.p.Register(fn)
+	tb.env.Go(func() {
+		for i := 0; i < b.N; i++ {
+			reqs := make([]*Request, 16)
+			for j := range reqs {
+				reqs[j] = &Request{Function: fn}
+			}
+			tb.p.InvokeParallel(reqs)
+		}
+	})
+	b.ResetTimer()
+	tb.env.Run()
+}

@@ -1,0 +1,367 @@
+package faas
+
+import (
+	"time"
+
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// PipelineAware is implemented by storage layers that track pipeline
+// intermediates (OFC's rclib); the controller notifies them when a
+// pipeline instance completes so intermediates can be discarded (§6.3).
+type PipelineAware interface {
+	PipelineDone(pipeline string)
+}
+
+// Invoke runs one function invocation end to end and blocks the
+// calling process until completion. It must be called from a
+// simulation process.
+func (p *Platform) Invoke(req *Request) *Result {
+	res := &Result{Start: p.env.Now()}
+	p.stats.mu.Lock()
+	p.stats.Invocations++
+	p.stats.mu.Unlock()
+
+	fn := req.Function
+	if fn == nil {
+		res.Err = ErrUnregistered
+		res.End = p.env.Now()
+		return res
+	}
+
+	// Controller receives the request.
+	p.env.Sleep(p.cfg.ControllerOverhead)
+
+	// Consult the Predictor (OFC) before placement.
+	wanted := fn.MemoryBooked
+	if p.Advisor != nil {
+		p.env.Sleep(p.cfg.AdviceOverhead)
+		adv := p.Advisor.Advise(req)
+		if adv.Use {
+			req.advised = true
+			req.predMem = clamp(adv.Mem, p.cfg.MinSandboxMem, min64(fn.MemoryBooked, p.cfg.MaxSandboxMem))
+			wanted = req.predMem
+		}
+		req.shouldCache = adv.ShouldCache
+	}
+
+	attempt := p.execute(req, wanted, res)
+	if attempt == ErrOOM {
+		// §5.3: immediate retry with the tenant-booked memory.
+		p.stats.mu.Lock()
+		p.stats.OOMKills++
+		p.stats.Retries++
+		p.stats.mu.Unlock()
+		res.Retried = true
+		req.advised = false
+		attempt = p.execute(req, fn.MemoryBooked, res)
+	}
+	res.Err = attempt
+	if attempt != nil {
+		p.stats.mu.Lock()
+		p.stats.Failures++
+		p.stats.mu.Unlock()
+	}
+	res.End = p.env.Now()
+	res.QueueDelay = time.Duration(res.End-res.Start) - res.Extract - res.Transform - res.Load
+
+	p.recordActivation(req, res)
+	if p.Observer != nil {
+		p.Observer.OnComplete(req, res)
+	}
+	return res
+}
+
+// PlacementObserver is notified right after a sandbox has been
+// provisioned for an invocation, before the body runs (OFC's
+// cacheAgent grows the cache with the sandbox's booked-but-unused
+// memory at this point, §4).
+type PlacementObserver interface {
+	OnPlaced(node simnet.NodeID)
+}
+
+// execute performs one placement + sandbox acquisition + body run.
+func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
+	fn := req.Function
+	inv, sb, cold, scale, err := p.acquire(req, wanted)
+	if err != nil {
+		return err
+	}
+	if po, ok := p.Observer.(PlacementObserver); ok {
+		po.OnPlaced(inv.node.ID)
+	}
+	res.Node = inv.node.ID
+	res.ColdStart = res.ColdStart || cold
+	res.ScaleDownTime += scale
+	res.InitialMem = sb.mem
+	if cold {
+		p.stats.mu.Lock()
+		p.stats.ColdStarts++
+		p.stats.mu.Unlock()
+	} else {
+		p.stats.mu.Lock()
+		p.stats.WarmStarts++
+		p.stats.mu.Unlock()
+	}
+
+	ctx := &Ctx{p: p, inv: inv, sb: sb, req: req, execStart: p.env.Now()}
+	err = fn.Body(ctx)
+
+	res.Extract += ctx.extract
+	res.Transform += ctx.transform
+	res.Load += ctx.load
+	res.BytesIn += ctx.bytesIn
+	res.BytesOut += ctx.bytesOut
+	res.ReadOps += ctx.readOps
+	res.WriteOps += ctx.writeOps
+	if ctx.peakMem > res.PeakMem {
+		res.PeakMem = ctx.peakMem
+	}
+	res.SandboxMem = sb.mem
+	res.Rescued = res.Rescued || ctx.rescued
+	res.Swapped = res.Swapped || ctx.swapped
+	if ctx.rescued {
+		p.stats.mu.Lock()
+		p.stats.Rescues++
+		p.stats.mu.Unlock()
+	}
+
+	if err == ErrOOM {
+		// The OOM killer took the container down with the invocation.
+		inv.destroySandbox(sb)
+		return ErrOOM
+	}
+	inv.parkSandbox(sb)
+
+	// Pipeline bookkeeping: discard intermediates when the final stage
+	// of a pipeline completes (§6.3).
+	if err == nil && req.Pipeline != "" && req.FinalStage {
+		if pa, ok := inv.storage.(PipelineAware); ok {
+			pa.PipelineDone(req.Pipeline)
+		}
+	}
+	return err
+}
+
+// acquire routes the request and returns a busy sandbox ready to run
+// it.
+func (p *Platform) acquire(req *Request, wanted int64) (*Invoker, *Sandbox, bool, time.Duration, error) {
+	const maxTries = 200
+	for try := 0; ; try++ {
+		invokers := p.Invokers()
+		if len(invokers) == 0 {
+			return nil, nil, false, 0, ErrNoCapacity
+		}
+		var warmIdle []*Invoker
+		for _, inv := range invokers {
+			if inv.HasIdleSandbox(req.Function) {
+				warmIdle = append(warmIdle, inv)
+			}
+		}
+		var target *Invoker
+		if p.Router != nil {
+			target = p.Router.Route(req, invokers, warmIdle)
+		}
+		if target == nil {
+			target = p.defaultRoute(req, invokers, warmIdle, wanted)
+		}
+		if target == nil {
+			if try >= maxTries {
+				return nil, nil, false, 0, ErrNoCapacity
+			}
+			p.env.Sleep(10 * time.Millisecond)
+			continue
+		}
+
+		// Controller -> invoker hop.
+		p.net.Transfer(p.ctrl, target.node.ID, 512)
+		p.env.Sleep(p.cfg.InvokerOverhead)
+
+		if sb := target.idleSandbox(req.Function, wanted); sb != nil && target.claim(sb) {
+			var scale time.Duration
+			if req.advised && sb.mem != wanted {
+				var err error
+				scale, err = target.resize(sb, wanted)
+				if err != nil {
+					// Could not grow on this node: park it back and
+					// fall through to another attempt.
+					target.parkSandbox(sb)
+					if try >= maxTries {
+						return nil, nil, false, scale, ErrNoCapacity
+					}
+					p.env.Sleep(10 * time.Millisecond)
+					continue
+				}
+			}
+			return target, sb, false, scale, nil
+		}
+		// Cold start.
+		sb, scale, err := target.createSandbox(req.Function, wanted)
+		if err == nil {
+			return target, sb, true, scale, nil
+		}
+		if try >= maxTries {
+			return nil, nil, false, scale, ErrNoCapacity
+		}
+		p.env.Sleep(10 * time.Millisecond)
+	}
+}
+
+// defaultRoute is vanilla OWK: a warm idle sandbox anywhere (home
+// first), otherwise the home invoker if it has room, otherwise the
+// first invoker with room (counting memory reclaimable from the
+// cache).
+func (p *Platform) defaultRoute(req *Request, all []*Invoker, warmIdle []*Invoker, wanted int64) *Invoker {
+	n := len(all)
+	home := p.homeIndex(req.Function, n)
+	if len(warmIdle) > 0 {
+		for i := 0; i < n; i++ {
+			inv := all[(home+i)%n]
+			for _, w := range warmIdle {
+				if w == inv {
+					return inv
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		inv := all[(home+i)%n]
+		if inv.FreeForSandboxes() >= wanted {
+			return inv
+		}
+	}
+	// Allow placements that will shrink the cache.
+	for i := 0; i < n; i++ {
+		inv := all[(home+i)%n]
+		if inv.Capacity()-inv.Reserved() >= wanted {
+			return inv
+		}
+	}
+	return nil
+}
+
+// RegisterSequence registers a named function composition (OWK's
+// first-class "sequences", §2.1): invoking the sequence runs the
+// member functions in order, each stage's single output key feeding
+// the next stage's input.
+func (p *Platform) RegisterSequence(tenant, name string, members ...*Function) *Sequence {
+	seq := &Sequence{p: p, Tenant: tenant, Name: name, Members: members}
+	p.mu.Lock()
+	if p.sequences == nil {
+		p.sequences = make(map[string]*Sequence)
+	}
+	p.sequences[tenant+"/"+name] = seq
+	p.mu.Unlock()
+	return seq
+}
+
+// Sequence is a registered function composition.
+type Sequence struct {
+	p       *Platform
+	Tenant  string
+	Name    string
+	Members []*Function
+}
+
+// LookupSequence finds a registered sequence.
+func (p *Platform) LookupSequence(id string) (*Sequence, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sequences[id]
+	return s, ok
+}
+
+// Invoke runs the sequence: stage i+1 receives stage i's input keys
+// unless chain is provided to derive them. The pipeline id groups the
+// stages for intermediate cleanup.
+func (s *Sequence) Invoke(pipeline string, firstInput []string, features map[string]float64, chain func(stage int, prev *Result) []string) []*Result {
+	reqs := make([]*Request, 0, len(s.Members))
+	keys := firstInput
+	var results []*Result
+	for i, fn := range s.Members {
+		req := &Request{
+			Function:      fn,
+			Pipeline:      pipeline,
+			FinalStage:    i == len(s.Members)-1,
+			InputKeys:     keys,
+			InputFeatures: features,
+		}
+		if i > 0 {
+			s.p.env.Sleep(s.p.cfg.ControllerOverhead / 2)
+		}
+		res := s.p.Invoke(req)
+		results = append(results, res)
+		reqs = append(reqs, req)
+		if res.Err != nil {
+			break
+		}
+		if chain != nil {
+			keys = chain(i, res)
+		}
+	}
+	_ = reqs
+	return results
+}
+
+// InvokeSequence runs requests one after another (an OWK "sequence"):
+// each next stage is triggered by the platform upon completion of the
+// previous one. It returns per-stage results.
+func (p *Platform) InvokeSequence(reqs []*Request) []*Result {
+	out := make([]*Result, 0, len(reqs))
+	for i, req := range reqs {
+		if i > 0 {
+			// Platform-driven trigger of the next stage.
+			p.env.Sleep(p.cfg.ControllerOverhead / 2)
+		}
+		res := p.Invoke(req)
+		out = append(out, res)
+		if res.Err != nil {
+			break
+		}
+	}
+	return out
+}
+
+// InvokeParallel fans out requests concurrently and waits for all of
+// them (a parallel pipeline stage).
+func (p *Platform) InvokeParallel(reqs []*Request) []*Result {
+	out := make([]*Result, len(reqs))
+	wg := sim.NewWaitGroup(p.env)
+	for i, req := range reqs {
+		i, req := i, req
+		wg.Add(1)
+		p.env.Go(func() {
+			defer wg.Done()
+			out[i] = p.Invoke(req)
+		})
+	}
+	wg.Wait()
+	return out
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// InvokeAsync fires an invocation without blocking (OpenWhisk's
+// default invoke mode returns an activation id immediately); the
+// returned future resolves to the Result.
+func (p *Platform) InvokeAsync(req *Request) *sim.Future[*Result] {
+	f := sim.NewFuture[*Result](p.env)
+	p.env.Go(func() { f.Set(p.Invoke(req)) })
+	return f
+}

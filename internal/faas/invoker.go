@@ -1,0 +1,326 @@
+package faas
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// sandboxState tracks the lifecycle of a container.
+type sandboxState int
+
+const (
+	sandboxIdle sandboxState = iota
+	sandboxBusy
+	sandboxDead
+)
+
+// Sandbox is a function container: one function, one invocation at a
+// time, kept alive between invocations.
+type Sandbox struct {
+	fn       *Function
+	mem      int64 // current cgroup memory limit
+	state    sandboxState
+	lastUsed sim.Time
+	created  sim.Time
+	epoch    int64 // bumps on every use; stale keep-alive timers check it
+}
+
+// Invoker is the per-node worker component: it reports node status to
+// the Loadbalancer, creates and resizes sandboxes, and runs
+// invocations.
+type Invoker struct {
+	p        *Platform
+	node     *simnet.Node
+	capacity int64
+
+	// storage is the node-local data-plane binding handed to function
+	// bodies.
+	storage Storage
+
+	mu         sync.Mutex
+	sandboxes  map[*Sandbox]struct{}
+	reserved   int64 // Σ sandbox memory limits
+	cacheGrant int64 // bytes currently granted to the co-located cache
+
+	// stats
+	created, expired int64
+}
+
+func newInvoker(p *Platform, node simnet.NodeID, capacity int64, storage Storage) *Invoker {
+	return &Invoker{
+		p:         p,
+		node:      p.net.Node(node),
+		capacity:  capacity,
+		storage:   storage,
+		sandboxes: make(map[*Sandbox]struct{}),
+	}
+}
+
+// Node returns the worker's node id.
+func (inv *Invoker) Node() simnet.NodeID { return inv.node.ID }
+
+// Capacity returns the node's total sandbox-usable memory.
+func (inv *Invoker) Capacity() int64 { return inv.capacity }
+
+// Reserved returns the memory currently reserved by sandboxes.
+func (inv *Invoker) Reserved() int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.reserved
+}
+
+// CacheGrant returns the bytes currently granted to the cache.
+func (inv *Invoker) CacheGrant() int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.cacheGrant
+}
+
+// SetCacheGrant adjusts the cache's share of node memory. Growing the
+// grant beyond free capacity is rejected (returns the grant actually
+// in force).
+func (inv *Invoker) SetCacheGrant(bytes int64) int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if max := inv.capacity - inv.reserved; bytes > max {
+		bytes = max
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	inv.cacheGrant = bytes
+	return bytes
+}
+
+// FreeForSandboxes is the memory available for new sandbox
+// reservations without shrinking the cache.
+func (inv *Invoker) FreeForSandboxes() int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.capacity - inv.reserved - inv.cacheGrant
+}
+
+// FreeForCache is the memory the cache could grow into: capacity not
+// reserved by sandboxes, minus its current grant.
+func (inv *Invoker) FreeForCache() int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.capacity - inv.reserved - inv.cacheGrant
+}
+
+// BookedWaste is the memory tenants booked for the live sandboxes but
+// that the sandboxes do not hold — the quantity OFC is entitled to
+// hoard ("the difference between the booked memory and the predicted
+// size is used for increasing the size of the cache", §1).
+func (inv *Invoker) BookedWaste() int64 {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	var waste int64
+	for sb := range inv.sandboxes {
+		if d := sb.fn.MemoryBooked - sb.mem; d > 0 {
+			waste += d
+		}
+	}
+	return waste
+}
+
+// idleSandbox returns an idle warm sandbox for fn, or nil. The
+// preferred selection among several idle sandboxes follows §6.5:
+// smallest |current - wanted| memory gap first, most recently used as
+// tie-break.
+func (inv *Invoker) idleSandbox(fn *Function, wanted int64) *Sandbox {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	var best *Sandbox
+	var bestGap int64
+	for sb := range inv.sandboxes {
+		if sb.fn != fn || sb.state != sandboxIdle {
+			continue
+		}
+		gap := sb.mem - wanted
+		if gap < 0 {
+			gap = -gap
+		}
+		if best == nil || gap < bestGap || (gap == bestGap && sb.lastUsed > best.lastUsed) {
+			best, bestGap = sb, gap
+		}
+	}
+	return best
+}
+
+// HasIdleSandbox reports whether a warm idle sandbox exists for fn.
+func (inv *Invoker) HasIdleSandbox(fn *Function) bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	for sb := range inv.sandboxes {
+		if sb.fn == fn && sb.state == sandboxIdle {
+			return true
+		}
+	}
+	return false
+}
+
+// IdleSandboxMem returns the memory of the best idle sandbox for fn
+// and whether one exists (the §6.5 routing criterion (i)).
+func (inv *Invoker) IdleSandboxMem(fn *Function, wanted int64) (int64, bool) {
+	sb := inv.idleSandbox(fn, wanted)
+	if sb == nil {
+		return 0, false
+	}
+	return sb.mem, true
+}
+
+// reserve grabs bytes of sandbox memory, shrinking the cache through
+// the Governor when needed. It returns the cache-scaling time spent on
+// the critical path.
+func (inv *Invoker) reserve(bytes int64) (time.Duration, error) {
+	inv.mu.Lock()
+	free := inv.capacity - inv.reserved - inv.cacheGrant
+	if free >= bytes {
+		inv.reserved += bytes
+		inv.mu.Unlock()
+		return 0, nil
+	}
+	need := bytes - free
+	canTakeFromCache := inv.cacheGrant >= need
+	inv.mu.Unlock()
+	if !canTakeFromCache || inv.p.Governor == nil {
+		if canTakeFromCache && inv.p.Governor == nil {
+			// No governor: take the grant directly.
+			inv.mu.Lock()
+			inv.cacheGrant -= need
+			inv.reserved += bytes
+			inv.mu.Unlock()
+			return 0, nil
+		}
+		return 0, ErrNoCapacity
+	}
+	took, err := inv.p.Governor.Reclaim(inv.node.ID, need)
+	if err != nil {
+		return took, err
+	}
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if inv.capacity-inv.reserved-inv.cacheGrant < bytes {
+		// Governor freed the grant but someone raced us; treat as no
+		// capacity rather than looping (callers retry at a higher level).
+		return took, ErrNoCapacity
+	}
+	inv.reserved += bytes
+	return took, nil
+}
+
+// release returns sandbox memory to the free pool.
+func (inv *Invoker) release(bytes int64) {
+	inv.mu.Lock()
+	inv.reserved -= bytes
+	if inv.reserved < 0 {
+		inv.reserved = 0
+	}
+	inv.mu.Unlock()
+}
+
+// createSandbox cold-starts a container with the given memory.
+func (inv *Invoker) createSandbox(fn *Function, mem int64) (*Sandbox, time.Duration, error) {
+	scale, err := inv.reserve(mem)
+	if err != nil {
+		return nil, scale, err
+	}
+	inv.p.env.Sleep(inv.p.cfg.ColdStart)
+	sb := &Sandbox{fn: fn, mem: mem, state: sandboxBusy, created: inv.p.env.Now(), lastUsed: inv.p.env.Now()}
+	inv.mu.Lock()
+	inv.sandboxes[sb] = struct{}{}
+	inv.created++
+	inv.mu.Unlock()
+	return sb, scale, nil
+}
+
+// resize updates a sandbox's memory limit. Per §6.4 the cgroup call is
+// executed asynchronously off the invocation critical path; growing
+// may first require the cache to shrink (critical-path cost returned).
+func (inv *Invoker) resize(sb *Sandbox, newMem int64) (time.Duration, error) {
+	var scale time.Duration
+	delta := newMem - sb.mem
+	if delta > 0 {
+		var err error
+		scale, err = inv.reserve(delta)
+		if err != nil {
+			return scale, err
+		}
+	} else if delta < 0 {
+		inv.release(-delta)
+	}
+	sb.mem = newMem
+	// The cgroup syscall + docker update run asynchronously.
+	inv.p.env.Go(func() { inv.p.env.Sleep(inv.p.cfg.ResizeLatency) })
+	return scale, nil
+}
+
+// destroySandbox retires a container and frees its memory.
+func (inv *Invoker) destroySandbox(sb *Sandbox) {
+	inv.mu.Lock()
+	if sb.state == sandboxDead {
+		inv.mu.Unlock()
+		return
+	}
+	sb.state = sandboxDead
+	delete(inv.sandboxes, sb)
+	inv.expired++
+	inv.mu.Unlock()
+	inv.release(sb.mem)
+}
+
+// parkSandbox moves a sandbox to idle and arms its keep-alive timer.
+func (inv *Invoker) parkSandbox(sb *Sandbox) {
+	inv.mu.Lock()
+	sb.state = sandboxIdle
+	sb.lastUsed = inv.p.env.Now()
+	sb.epoch++
+	epoch := sb.epoch
+	inv.mu.Unlock()
+	inv.p.env.After(inv.p.cfg.KeepAlive, func() {
+		inv.mu.Lock()
+		stale := sb.epoch != epoch || sb.state != sandboxIdle
+		inv.mu.Unlock()
+		if !stale {
+			inv.destroySandbox(sb)
+		}
+	})
+}
+
+// claim atomically takes an idle sandbox for a new invocation.
+func (inv *Invoker) claim(sb *Sandbox) bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	if sb.state != sandboxIdle {
+		return false
+	}
+	sb.state = sandboxBusy
+	sb.epoch++
+	return true
+}
+
+// SandboxCount reports live sandboxes (idle + busy).
+func (inv *Invoker) SandboxCount() int {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return len(inv.sandboxes)
+}
+
+// Lifecycle reports cumulative created/expired sandbox counters.
+func (inv *Invoker) Lifecycle() (created, expired int64) {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.created, inv.expired
+}
+
+// Reserve grabs sandbox memory directly, as if a sandbox of that size
+// were created. Exposed for experiments that synthesize memory
+// pressure (e.g., the Figure 8 scaling scenarios) and for tests.
+func (inv *Invoker) Reserve(bytes int64) (time.Duration, error) { return inv.reserve(bytes) }
+
+// ReleaseMem returns memory taken with Reserve.
+func (inv *Invoker) ReleaseMem(bytes int64) { inv.release(bytes) }

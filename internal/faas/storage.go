@@ -1,0 +1,59 @@
+package faas
+
+import (
+	"ofc/internal/imoc"
+	"ofc/internal/objstore"
+	"ofc/internal/simnet"
+)
+
+// rsdsStorage is the OWK-Swift baseline data plane: every Extract and
+// Load goes straight to the remote store.
+type rsdsStorage struct {
+	store *objstore.Store
+}
+
+// NewRSDSStorage binds function bodies directly to the RSDS (the
+// OWK-Swift configuration of §7.2).
+func NewRSDSStorage(store *objstore.Store) Storage {
+	return &rsdsStorage{store: store}
+}
+
+func (s *rsdsStorage) Get(caller simnet.NodeID, key string, _ PutOpts) (Blob, error) {
+	blob, _, err := s.store.Get(caller, key, false)
+	return blob, err
+}
+
+func (s *rsdsStorage) Put(caller simnet.NodeID, key string, blob Blob, _ PutOpts) error {
+	s.store.Put(caller, key, blob, nil, false)
+	return nil
+}
+
+func (s *rsdsStorage) Delete(caller simnet.NodeID, key string) error {
+	return s.store.Delete(caller, key, false)
+}
+
+// imocStorage is the OWK-Redis baseline: all data lives in a
+// centralized in-memory cache the tenant provisioned (§7.2's best-case
+// data access time).
+type imocStorage struct {
+	cache *imoc.Cache
+}
+
+// NewIMOCStorage binds function bodies to the Redis-like cache.
+func NewIMOCStorage(cache *imoc.Cache) Storage {
+	return &imocStorage{cache: cache}
+}
+
+func (s *imocStorage) Get(caller simnet.NodeID, key string, _ PutOpts) (Blob, error) {
+	return s.cache.Get(caller, key)
+}
+
+func (s *imocStorage) Put(caller simnet.NodeID, key string, blob Blob, _ PutOpts) error {
+	s.cache.Set(caller, key, blob)
+	return nil
+}
+
+func (s *imocStorage) Delete(caller simnet.NodeID, key string) error {
+	s.cache.Del(caller, key)
+	return nil
+}

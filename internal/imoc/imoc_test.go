@@ -1,0 +1,72 @@
+package imoc
+
+import (
+	"testing"
+	"time"
+
+	"ofc/internal/kvstore"
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+func setup(env *sim.Env) *Cache {
+	net := simnet.New(env, simnet.DefaultConfig())
+	net.AddNode("worker")
+	net.AddNode("redis")
+	return New(net, 1, RedisProfile())
+}
+
+func TestSetGetDel(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := setup(env)
+	env.Go(func() {
+		c.Set(0, "k", kvstore.Bytes([]byte("v")))
+		blob, err := c.Get(0, "k")
+		if err != nil || string(blob.Data) != "v" {
+			t.Errorf("get: %v %q", err, blob.Data)
+		}
+		c.Del(0, "k")
+		if _, err := c.Get(0, "k"); err != ErrNotFound {
+			t.Errorf("get after del: %v", err)
+		}
+	})
+	env.Run()
+	gets, sets := c.Stats()
+	if gets != 1 || sets != 1 {
+		t.Errorf("stats=%d %d", gets, sets)
+	}
+}
+
+func TestRedisIsFastComparedToRSDS(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := setup(env)
+	env.Go(func() {
+		c.Set(0, "k", kvstore.Synthetic(128<<10))
+		start := env.Now()
+		if _, err := c.Get(0, "k"); err != nil {
+			t.Fatal(err)
+		}
+		took := env.Now() - start
+		// 128 kB from in-region Redis: well under a millisecond —
+		// that's what makes E&L "negligible" in Figure 3's second
+		// bar series.
+		if took > time.Millisecond {
+			t.Errorf("128kB Redis GET took %v", took)
+		}
+	})
+	env.Run()
+}
+
+func TestLen(t *testing.T) {
+	env := sim.NewEnv(1)
+	c := setup(env)
+	env.Go(func() {
+		c.Set(0, "a", kvstore.Synthetic(1))
+		c.Set(0, "b", kvstore.Synthetic(1))
+		c.Set(0, "a", kvstore.Synthetic(2))
+	})
+	env.Run()
+	if c.Len() != 2 {
+		t.Errorf("len=%d", c.Len())
+	}
+}

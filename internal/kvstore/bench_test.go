@@ -1,0 +1,68 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+
+	"ofc/internal/sim"
+)
+
+// BenchmarkClusterWrite measures the host cost of a replicated durable
+// write through the simulated fabric.
+func BenchmarkClusterWrite(b *testing.B) {
+	env := sim.NewEnv(1)
+	c, _ := testCluster(env)
+	env.Go(func() {
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Write(1, fmt.Sprintf("k%d", i%1024), Synthetic(64<<10), nil, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkClusterRead measures the host cost of a cache read.
+func BenchmarkClusterRead(b *testing.B) {
+	env := sim.NewEnv(1)
+	c, _ := testCluster(env)
+	env.Go(func() {
+		c.Write(1, "k", Synthetic(64<<10), nil, 1)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Read(1, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkLogPut measures the raw log-structured engine.
+func BenchmarkLogPut(b *testing.B) {
+	l := newObjLog(16 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.put(fmt.Sprintf("k%d", i%512), mkObj(64<<10))
+		if l.alloc > 1<<30 {
+			l.clean(l.live)
+		}
+	}
+}
+
+// BenchmarkMigrateToBackup measures the promotion path.
+func BenchmarkMigrateToBackup(b *testing.B) {
+	env := sim.NewEnv(1)
+	c, _ := testCluster(env)
+	env.Go(func() {
+		c.Write(1, "k", Synthetic(8<<20), nil, 1)
+		for i := 0; i < b.N; i++ {
+			if err := c.MigrateToBackup("k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}

@@ -1,0 +1,105 @@
+package kvstore
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// Linearizability of a single key under concurrent readers/writers
+// (§6.2: "strong consistency is enforced by RAMCloud ... linearizable
+// semantics for failure-free scenarios").
+//
+// With unique write versions, a register history is linearizable iff
+// versions respect real time: whenever operation A completes before
+// operation B starts, B must not observe (or install) a version older
+// than the one A observed/installed.
+
+type regOp struct {
+	start, end sim.Time
+	version    uint64
+	isWrite    bool
+}
+
+func TestPropertyLinearizableRegister(t *testing.T) {
+	f := func(seed int64, nOps8 uint8) bool {
+		nClients := 4
+		nOps := int(nOps8%6) + 2
+		env := sim.NewEnv(seed)
+		c, _ := testCluster(env)
+		var mu sync.Mutex
+		var history []regOp
+		var setup sync.WaitGroup
+		setup.Add(1)
+		env.Go(func() {
+			defer setup.Done()
+			if _, err := c.Write(0, "reg", Synthetic(64), nil, 1); err != nil {
+				t.Fatal(err)
+			}
+			for cl := 0; cl < nClients; cl++ {
+				node := simnet.NodeID(cl % 4)
+				rng := env.NewRand()
+				env.Go(func() {
+					for i := 0; i < nOps; i++ {
+						env.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+						start := env.Now()
+						if rng.Intn(2) == 0 {
+							ver, err := c.Write(node, "reg", Synthetic(64), nil, 1)
+							if err != nil {
+								continue
+							}
+							mu.Lock()
+							history = append(history, regOp{start: start, end: env.Now(), version: ver, isWrite: true})
+							mu.Unlock()
+						} else {
+							_, meta, err := c.Read(node, "reg")
+							if err != nil {
+								continue
+							}
+							mu.Lock()
+							history = append(history, regOp{start: start, end: env.Now(), version: meta.Version})
+							mu.Unlock()
+						}
+					}
+				})
+			}
+		})
+		env.Run()
+
+		// Check: real-time order implies version order.
+		sort.Slice(history, func(i, j int) bool { return history[i].end < history[j].end })
+		ok := true
+		for i, a := range history {
+			for _, b := range history[i+1:] {
+				if a.end < b.start && b.version < a.version {
+					ok = false
+				}
+			}
+		}
+		// Every read version was installed by some write (or the setup
+		// write).
+		written := map[uint64]bool{}
+		for _, op := range history {
+			if op.isWrite {
+				written[op.version] = true
+			}
+		}
+		for _, op := range history {
+			if !op.isWrite && !written[op.version] {
+				// The setup write's version is the only other source.
+				if op.version == 0 {
+					ok = false
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

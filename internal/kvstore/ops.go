@@ -1,0 +1,290 @@
+package kvstore
+
+import (
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// Write stores (or overwrites) key with blob. The master copy lands on
+// preferred when that node has a live server with room (OFC routes
+// writes to the invoking worker for locality, §6.5). The write is
+// durable once all backups have buffered it, matching RAMCloud's
+// commit point. Returns the new version.
+func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[string]string, preferred simnet.NodeID) (uint64, error) {
+	if blob.Size > c.cfg.MaxObjectSize {
+		return 0, ErrTooLarge
+	}
+	p, ok := c.lookup(caller, key)
+	if !ok {
+		var err error
+		p, err = c.place(key, blob.Size, preferred)
+		if err != nil {
+			return 0, err
+		}
+	}
+	master := c.Server(p.master)
+	if master == nil {
+		return 0, ErrNoSuchServer
+	}
+
+	// Ship the payload to the master.
+	c.net.Transfer(caller, p.master, blob.Size+c.cfg.ControlMsgSize)
+
+	env := c.env()
+	var version uint64
+	var werr error
+	// Master-side processing.
+	env.Sleep(c.cfg.ServeOverhead + c.memCopyTime(blob.Size))
+	master.mu.Lock()
+	if master.crashed {
+		master.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	old, existed := master.log.get(key)
+	delta := blob.Size
+	if existed {
+		delta -= old.meta.Size
+	}
+	if master.log.live+delta > master.limit {
+		master.mu.Unlock()
+		c.mu.Lock()
+		if !ok { // undo speculative placement of a brand-new object
+			delete(c.places, key)
+		}
+		c.mu.Unlock()
+		return 0, ErrNoSpace
+	}
+	c.mu.Lock()
+	c.nextVer++
+	version = c.nextVer
+	c.mu.Unlock()
+	now := env.Now()
+	var created sim.Time
+	var naccess int64
+	if existed {
+		created = old.meta.Created
+		naccess = old.meta.NAccess
+	} else {
+		created = now
+	}
+	master.log.put(key, &object{blob: blob, meta: Meta{
+		Version: version, Size: blob.Size, Created: created,
+		NAccess: naccess, LastAccess: now, Tags: cloneTags(tags),
+	}})
+	// Log-structured memory: if dead entries push the allocated bytes
+	// past the budget, the cleaner compacts before the write returns
+	// (write-path backpressure, as in RAMCloud).
+	var cleanedBytes int64
+	if master.log.alloc > master.limit {
+		cleanedBytes = master.log.clean(master.limit)
+	}
+	master.writes++
+	master.mu.Unlock()
+	if cleanedBytes > 0 {
+		env.Sleep(c.memCopyTime(cleanedBytes))
+	}
+
+	// Replicate to backups in parallel; ack when all have buffered.
+	wg := sim.NewWaitGroup(env)
+	errs := make([]error, len(p.backups))
+	for i, b := range p.backups {
+		i, b := i, b
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			bs := c.Server(b)
+			if bs == nil {
+				errs[i] = ErrNoSuchServer
+				return
+			}
+			c.net.Transfer(p.master, b, blob.Size+c.cfg.ControlMsgSize)
+			env.Sleep(c.memCopyTime(blob.Size)) // buffer in backup RAM
+			bs.mu.Lock()
+			if bs.crashed {
+				errs[i] = ErrCrashed
+				bs.mu.Unlock()
+				return
+			}
+			bs.backups[key] = blob
+			bs.mu.Unlock()
+			// Asynchronous disk flush, off the commit path. The buffer
+			// copy is retained after the flush (RAMCloud backups keep
+			// segments buffered while RAM allows), which is what makes
+			// migration-by-promotion fast; only a machine restart
+			// drops buffers (see Restart).
+			env.Go(func() {
+				bs.node.DiskWrite(blob.Size)
+				bs.mu.Lock()
+				if cur, ok := bs.backups[key]; ok && cur.Size == blob.Size {
+					bs.disk[key] = cur
+				}
+				bs.mu.Unlock()
+			})
+			c.net.Transfer(b, p.master, c.cfg.ControlMsgSize)
+		})
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil && werr == nil {
+			werr = e
+		}
+	}
+	// Ack to the caller.
+	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	if werr != nil {
+		return 0, werr
+	}
+	return version, nil
+}
+
+func cloneTags(tags map[string]string) map[string]string {
+	if tags == nil {
+		return nil
+	}
+	out := make(map[string]string, len(tags))
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
+}
+
+// Read fetches key's payload from its master, updating the OFC access
+// statistics.
+func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
+	p, ok := c.lookup(caller, key)
+	if !ok {
+		return Blob{}, Meta{}, ErrNotFound
+	}
+	s := c.Server(p.master)
+	if s == nil {
+		return Blob{}, Meta{}, ErrNoSuchServer
+	}
+	env := c.env()
+	// Request to master.
+	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	env.Sleep(c.cfg.ServeOverhead)
+	if caller != p.master {
+		env.Sleep(c.cfg.CrossNodeOverhead)
+	}
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return Blob{}, Meta{}, ErrCrashed
+	}
+	o, found := s.log.get(key)
+	if !found {
+		s.mu.Unlock()
+		return Blob{}, Meta{}, ErrNotFound
+	}
+	o.meta.NAccess++
+	o.meta.LastAccess = env.Now()
+	blob, meta := o.blob, o.meta
+	s.reads++
+	s.mu.Unlock()
+	// Payload back to the caller.
+	c.net.Transfer(p.master, caller, blob.Size+c.cfg.ControlMsgSize)
+	return blob, meta, nil
+}
+
+// Stat returns the metadata of key without moving the payload.
+func (c *Cluster) Stat(caller simnet.NodeID, key string) (Meta, error) {
+	p, ok := c.lookup(caller, key)
+	if !ok {
+		return Meta{}, ErrNotFound
+	}
+	s := c.Server(p.master)
+	if s == nil {
+		return Meta{}, ErrNoSuchServer
+	}
+	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	c.env().Sleep(c.cfg.ServeOverhead)
+	s.mu.Lock()
+	o, found := s.log.get(key)
+	if !found || s.crashed {
+		s.mu.Unlock()
+		return Meta{}, ErrNotFound
+	}
+	meta := o.meta
+	s.mu.Unlock()
+	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	return meta, nil
+}
+
+// SetTag updates one metadata tag on the master copy.
+func (c *Cluster) SetTag(caller simnet.NodeID, key, tag, value string) error {
+	p, ok := c.lookup(caller, key)
+	if !ok {
+		return ErrNotFound
+	}
+	s := c.Server(p.master)
+	if s == nil {
+		return ErrNoSuchServer
+	}
+	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	s.mu.Lock()
+	o, found := s.log.get(key)
+	if !found || s.crashed {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	if o.meta.Tags == nil {
+		o.meta.Tags = make(map[string]string)
+	}
+	o.meta.Tags[tag] = value
+	s.mu.Unlock()
+	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	return nil
+}
+
+// Delete removes key from the store (master and backups).
+func (c *Cluster) Delete(caller simnet.NodeID, key string) error {
+	p, ok := c.lookup(caller, key)
+	if !ok {
+		return ErrNotFound
+	}
+	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	c.dropLocal(p, key)
+	c.mu.Lock()
+	delete(c.places, key)
+	c.mu.Unlock()
+	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	return nil
+}
+
+// dropLocal erases key's copies without network charges (the master
+// fans out tiny control messages to backups; we fold that cost into
+// the caller's ack path).
+func (c *Cluster) dropLocal(p placement, key string) {
+	if s := c.Server(p.master); s != nil {
+		s.mu.Lock()
+		if _, freed := s.log.delete(key); freed {
+			s.evictions++
+		}
+		s.mu.Unlock()
+	}
+	for _, b := range p.backups {
+		if bs := c.Server(b); bs != nil {
+			bs.mu.Lock()
+			delete(bs.backups, key)
+			delete(bs.disk, key)
+			bs.mu.Unlock()
+		}
+	}
+}
+
+// Evict removes key entirely (used for clean objects whose canonical
+// copy lives in the RSDS). It is a local decision of the cacheAgent;
+// only coordinator bookkeeping is charged.
+func (c *Cluster) Evict(key string) error {
+	c.mu.Lock()
+	p, ok := c.places[key]
+	if ok {
+		delete(c.places, key)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	c.dropLocal(p, key)
+	return nil
+}

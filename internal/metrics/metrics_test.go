@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(time.Duration(i) * time.Millisecond)
+	}
+	if m := h.Median(); m != 51*time.Millisecond {
+		t.Errorf("median=%v", m)
+	}
+	if p := h.P99(); p != 100*time.Millisecond {
+		t.Errorf("p99=%v", p)
+	}
+	if mx := h.Max(); mx != 100*time.Millisecond {
+		t.Errorf("max=%v", mx)
+	}
+	if mean := h.Mean(); mean != 50500*time.Microsecond {
+		t.Errorf("mean=%v", mean)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count=%d", h.Count())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Median() != 0 || h.P99() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram not zero")
+	}
+}
+
+func TestHistogramInterleavedAddQuery(t *testing.T) {
+	var h Histogram
+	h.Add(5 * time.Millisecond)
+	if h.Median() != 5*time.Millisecond {
+		t.Error("single-sample median")
+	}
+	h.Add(time.Millisecond) // must re-sort after the query
+	if h.Quantile(0) != time.Millisecond {
+		t.Error("min after interleaved add")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, r := range raw {
+			h.Add(time.Duration(r) * time.Microsecond)
+		}
+		prev := h.Quantile(0)
+		for q := 0.1; q <= 1.0; q += 0.1 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return h.Quantile(0) <= h.Median() && h.Median() <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Peak() != 0 || s.Last() != 0 {
+		t.Error("empty series not zero")
+	}
+	s.Add(time.Second, 1.5)
+	s.Add(2*time.Second, 3.0)
+	s.Add(3*time.Second, 2.0)
+	if s.Peak() != 3.0 {
+		t.Errorf("peak=%v", s.Peak())
+	}
+	if s.Last() != 2.0 {
+		t.Errorf("last=%v", s.Last())
+	}
+	if pts := s.Points(); len(pts) != 3 || pts[1].At != 2*time.Second {
+		t.Errorf("points=%v", pts)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Inc("hits", 3)
+	c.Inc("misses", 1)
+	c.Inc("hits", 2)
+	if c.Get("hits") != 5 || c.Get("misses") != 1 || c.Get("absent") != 0 {
+		t.Errorf("hits=%d misses=%d", c.Get("hits"), c.Get("misses"))
+	}
+	snap := c.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "hits" || snap[1].Name != "misses" {
+		t.Errorf("snapshot=%v", snap)
+	}
+}

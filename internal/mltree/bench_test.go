@@ -1,0 +1,45 @@
+package mltree
+
+import "testing"
+
+// BenchmarkJ48Fit measures training on a 600-instance dataset.
+func BenchmarkJ48Fit(b *testing.B) {
+	d := nominalDataset(600, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewJ48().Fit(d)
+	}
+}
+
+// BenchmarkJ48Classify measures the critical-path prediction (§5.1's
+// 1 ms budget; Figure 6).
+func BenchmarkJ48Classify(b *testing.B) {
+	d := nominalDataset(600, 1)
+	model := NewJ48().Fit(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Classify(d.Instances[i%d.Len()].Vals)
+	}
+}
+
+// BenchmarkForestClassify measures the RandomForest alternative the
+// paper rejected for critical-path latency.
+func BenchmarkForestClassify(b *testing.B) {
+	d := nominalDataset(600, 1)
+	model := (&RandomForest{Trees: 30, MinLeaf: 1, Seed: 1}).Fit(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.Classify(d.Instances[i%d.Len()].Vals)
+	}
+}
+
+// BenchmarkHoeffdingObserve measures incremental learning throughput.
+func BenchmarkHoeffdingObserve(b *testing.B) {
+	d := nominalDataset(600, 1)
+	h := NewHoeffdingTree(d.Attrs, d.Classes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := d.Instances[i%d.Len()]
+		h.Observe(inst.Vals, inst.Class)
+	}
+}

@@ -1,0 +1,119 @@
+package mltree
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV import/export for datasets: the repository's stand-in for the
+// paper's machine-learning folder of offline training data. The last
+// column is the class label; nominal attribute cells hold category
+// names, numeric cells decimal values, empty cells are missing.
+
+// WriteCSV writes the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(d.Attrs)+1)
+	for _, a := range d.Attrs {
+		header = append(header, a.Name)
+	}
+	header = append(header, "class")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(d.Attrs)+1)
+	for i := range d.Instances {
+		inst := &d.Instances[i]
+		for a := range d.Attrs {
+			v := inst.Vals[a]
+			switch {
+			case IsMissing(v):
+				row[a] = ""
+			case d.Attrs[a].Kind == Nominal:
+				idx := int(v)
+				if idx >= 0 && idx < d.Attrs[a].NumValues() {
+					row[a] = d.Attrs[a].Values[idx]
+				} else {
+					row[a] = ""
+				}
+			default:
+				row[a] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+		}
+		row[len(d.Attrs)] = d.Classes[inst.Class]
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV loads instances from WriteCSV output into a dataset with the
+// given schema. The header row is validated against the schema.
+func ReadCSV(r io.Reader, attrs []Attribute, classes []string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("mltree: csv header: %w", err)
+	}
+	if len(header) != len(attrs)+1 {
+		return nil, fmt.Errorf("mltree: csv has %d columns, schema wants %d", len(header), len(attrs)+1)
+	}
+	for i, a := range attrs {
+		if header[i] != a.Name {
+			return nil, fmt.Errorf("mltree: csv column %d is %q, schema wants %q", i, header[i], a.Name)
+		}
+	}
+	classIdx := make(map[string]int, len(classes))
+	for i, c := range classes {
+		classIdx[c] = i
+	}
+	nomIdx := make([]map[string]int, len(attrs))
+	for a := range attrs {
+		if attrs[a].Kind == Nominal {
+			nomIdx[a] = make(map[string]int, attrs[a].NumValues())
+			for i, v := range attrs[a].Values {
+				nomIdx[a][v] = i
+			}
+		}
+	}
+	d := NewDataset(attrs, classes)
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mltree: csv line %d: %w", line, err)
+		}
+		vals := make([]float64, len(attrs))
+		for a := range attrs {
+			cell := row[a]
+			switch {
+			case cell == "":
+				vals[a] = Missing
+			case attrs[a].Kind == Nominal:
+				idx, ok := nomIdx[a][cell]
+				if !ok {
+					return nil, fmt.Errorf("mltree: csv line %d: unknown category %q for %s", line, cell, attrs[a].Name)
+				}
+				vals[a] = float64(idx)
+			default:
+				v, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("mltree: csv line %d: %w", line, err)
+				}
+				vals[a] = v
+			}
+		}
+		cls, ok := classIdx[row[len(attrs)]]
+		if !ok {
+			return nil, fmt.Errorf("mltree: csv line %d: unknown class %q", line, row[len(attrs)])
+		}
+		d.Add(vals, cls)
+	}
+	return d, nil
+}

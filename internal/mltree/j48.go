@@ -1,0 +1,483 @@
+package mltree
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// node is a decision-tree node shared by J48 and RandomTree.
+type node struct {
+	// split
+	attr      int     // attribute index, -1 for leaf
+	threshold float64 // numeric split: <= threshold goes left
+	children  []*node // numeric: [left,right]; nominal: one per category
+
+	// leaf / fallback data
+	counts   []float64 // weighted class histogram at this node
+	majority int       // majority class (used for leaves and missing values)
+}
+
+func (n *node) isLeaf() bool { return n.attr < 0 }
+
+// classifyNode walks the tree for vals; missing or out-of-range values
+// stop at the current node's majority.
+func (n *node) distribution(vals []float64, attrs []Attribute) []float64 {
+	cur := n
+	for !cur.isLeaf() {
+		v := vals[cur.attr]
+		if IsMissing(v) {
+			break
+		}
+		if attrs[cur.attr].Kind == Numeric {
+			if v <= cur.threshold {
+				cur = cur.children[0]
+			} else {
+				cur = cur.children[1]
+			}
+		} else {
+			idx := int(v)
+			if idx < 0 || idx >= len(cur.children) || cur.children[idx] == nil {
+				break
+			}
+			cur = cur.children[idx]
+		}
+	}
+	total := 0.0
+	for _, c := range cur.counts {
+		total += c
+	}
+	dist := make([]float64, len(cur.counts))
+	if total > 0 {
+		for i, c := range cur.counts {
+			dist[i] = c / total
+		}
+	} else {
+		dist[cur.majority] = 1
+	}
+	return dist
+}
+
+func (n *node) classify(vals []float64, attrs []Attribute) int {
+	cur := n
+	for !cur.isLeaf() {
+		v := vals[cur.attr]
+		if IsMissing(v) {
+			break
+		}
+		if attrs[cur.attr].Kind == Numeric {
+			if v <= cur.threshold {
+				cur = cur.children[0]
+			} else {
+				cur = cur.children[1]
+			}
+		} else {
+			idx := int(v)
+			if idx < 0 || idx >= len(cur.children) || cur.children[idx] == nil {
+				break
+			}
+			cur = cur.children[idx]
+		}
+	}
+	return cur.majority
+}
+
+func (n *node) size() int {
+	if n.isLeaf() {
+		return 1
+	}
+	s := 1
+	for _, c := range n.children {
+		if c != nil {
+			s += c.size()
+		}
+	}
+	return s
+}
+
+func (n *node) depth() int {
+	if n.isLeaf() {
+		return 1
+	}
+	d := 0
+	for _, c := range n.children {
+		if c != nil && c.depth() > d {
+			d = c.depth()
+		}
+	}
+	return d + 1
+}
+
+// splitCandidate is the outcome of evaluating one attribute at a node.
+type splitCandidate struct {
+	attr      int
+	threshold float64
+	gain      float64
+	gainRatio float64
+	valid     bool
+}
+
+// evaluateSplit computes the best split on one attribute, C4.5 style:
+// information gain ratio, binary threshold splits for numeric
+// attributes, multiway splits for nominal ones. Missing values are
+// excluded from the gain computation.
+func evaluateSplit(d *Dataset, insts []Instance, attr int, baseEntropy float64, minLeaf float64) splitCandidate {
+	cand := splitCandidate{attr: attr}
+	numClasses := len(d.Classes)
+	if d.Attrs[attr].Kind == Nominal {
+		k := d.Attrs[attr].NumValues()
+		counts := make([][]float64, k)
+		for i := range counts {
+			counts[i] = make([]float64, numClasses)
+		}
+		var total float64
+		for i := range insts {
+			v := insts[i].Vals[attr]
+			if IsMissing(v) {
+				continue
+			}
+			counts[int(v)][insts[i].Class] += insts[i].Weight
+			total += insts[i].Weight
+		}
+		if total == 0 {
+			return cand
+		}
+		nonEmpty := 0
+		var cond, splitInfo float64
+		for _, c := range counts {
+			var w float64
+			for _, x := range c {
+				w += x
+			}
+			if w > 0 {
+				nonEmpty++
+				p := w / total
+				cond += p * entropy(c)
+				splitInfo -= p * math.Log2(p)
+			}
+		}
+		if nonEmpty < 2 || splitInfo <= 0 {
+			return cand
+		}
+		cand.gain = baseEntropy - cond
+		cand.gainRatio = cand.gain / splitInfo
+		cand.valid = cand.gain > 1e-10
+		return cand
+	}
+
+	// Numeric attribute: sort and scan thresholds between distinct
+	// consecutive values.
+	sorted := make([]Instance, len(insts))
+	copy(sorted, insts)
+	SortByAttr(sorted, attr)
+	// Trim trailing missing values.
+	n := len(sorted)
+	for n > 0 && IsMissing(sorted[n-1].Vals[attr]) {
+		n--
+	}
+	if n < 2 {
+		return cand
+	}
+	sorted = sorted[:n]
+	var total float64
+	right := make([]float64, numClasses)
+	for i := range sorted {
+		right[sorted[i].Class] += sorted[i].Weight
+		total += sorted[i].Weight
+	}
+	left := make([]float64, numClasses)
+	var leftW float64
+	bestGain, bestThr := -1.0, 0.0
+	candidates := 0
+	for i := 0; i < len(sorted)-1; i++ {
+		w := sorted[i].Weight
+		left[sorted[i].Class] += w
+		right[sorted[i].Class] -= w
+		leftW += w
+		if sorted[i].Vals[attr] == sorted[i+1].Vals[attr] {
+			continue
+		}
+		rightW := total - leftW
+		if leftW < minLeaf || rightW < minLeaf {
+			continue
+		}
+		candidates++
+		cond := leftW/total*entropy(left) + rightW/total*entropy(right)
+		gain := baseEntropy - cond
+		if gain > bestGain {
+			bestGain = gain
+			bestThr = (sorted[i].Vals[attr] + sorted[i+1].Vals[attr]) / 2
+		}
+	}
+	// C4.5's MDL correction for numeric attributes: charge the cost of
+	// transmitting the chosen threshold against the gain.
+	if candidates > 0 {
+		bestGain -= math.Log2(float64(candidates)) / total
+	}
+	if bestGain <= 1e-10 {
+		return cand
+	}
+	// Recompute split info for the chosen threshold.
+	var lw float64
+	for i := range sorted {
+		if sorted[i].Vals[attr] <= bestThr {
+			lw += sorted[i].Weight
+		}
+	}
+	pl := lw / total
+	splitInfo := 0.0
+	if pl > 0 && pl < 1 {
+		splitInfo = -pl*math.Log2(pl) - (1-pl)*math.Log2(1-pl)
+	}
+	if splitInfo <= 0 {
+		return cand
+	}
+	cand.threshold = bestThr
+	cand.gain = bestGain
+	cand.gainRatio = bestGain / splitInfo
+	cand.valid = true
+	return cand
+}
+
+// J48 is a C4.5-style decision-tree learner: gain-ratio splits, a
+// minimum leaf weight, and optional pessimistic error pruning with the
+// standard confidence factor.
+type J48 struct {
+	// MinLeaf is the minimum total weight per leaf (C4.5 default 2).
+	MinLeaf float64
+	// Confidence is the pruning confidence factor (C4.5 default 0.25).
+	// Zero disables pruning.
+	Confidence float64
+	// MaxDepth caps tree depth; zero means unlimited.
+	MaxDepth int
+}
+
+// NewJ48 returns a learner with the C4.5 defaults.
+func NewJ48() *J48 { return &J48{MinLeaf: 2, Confidence: 0.25} }
+
+// Name implements Learner.
+func (j *J48) Name() string { return "J48" }
+
+// Tree is a trained decision tree.
+type Tree struct {
+	root  *node
+	attrs []Attribute
+	n     int // training instances
+}
+
+// Fit implements Learner.
+func (j *J48) Fit(d *Dataset) Classifier {
+	minLeaf := j.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	b := &treeBuilder{d: d, minLeaf: minLeaf, maxDepth: j.MaxDepth}
+	root := b.build(d.Instances, 0)
+	if j.Confidence > 0 {
+		prune(root, j.Confidence, d.Attrs)
+	}
+	return &Tree{root: root, attrs: d.Attrs, n: d.Len()}
+}
+
+// treeBuilder carries the recursion state for J48 and RandomTree.
+type treeBuilder struct {
+	d        *Dataset
+	minLeaf  float64
+	maxDepth int
+	// attrSampler, when non-nil, returns the candidate attribute set
+	// for a node (RandomTree's per-node random subspace).
+	attrSampler func() []int
+	rng         *rand.Rand
+}
+
+func (b *treeBuilder) build(insts []Instance, depth int) *node {
+	counts := classCounts(insts, len(b.d.Classes))
+	nd := &node{attr: -1, counts: counts, majority: majorityClass(counts)}
+	var total, nonZero float64
+	classesPresent := 0
+	for _, c := range counts {
+		total += c
+		if c > 0 {
+			classesPresent++
+			nonZero = c
+		}
+	}
+	_ = nonZero
+	if classesPresent <= 1 || total < 2*b.minLeaf || (b.maxDepth > 0 && depth >= b.maxDepth) {
+		return nd
+	}
+	baseEntropy := entropy(counts)
+
+	var candidates []int
+	if b.attrSampler != nil {
+		candidates = b.attrSampler()
+	} else {
+		candidates = make([]int, len(b.d.Attrs))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+
+	var best splitCandidate
+	var gains []splitCandidate
+	for _, a := range candidates {
+		c := evaluateSplit(b.d, insts, a, baseEntropy, b.minLeaf)
+		if c.valid {
+			gains = append(gains, c)
+		}
+	}
+	if len(gains) == 0 {
+		return nd
+	}
+	// C4.5 heuristic: restrict to splits with at least average gain,
+	// then pick the best gain ratio.
+	var avg float64
+	for _, g := range gains {
+		avg += g.gain
+	}
+	avg /= float64(len(gains))
+	bestRatio := -1.0
+	for _, g := range gains {
+		if g.gain >= avg-1e-12 && g.gainRatio > bestRatio {
+			bestRatio = g.gainRatio
+			best = g
+		}
+	}
+	if !best.valid {
+		return nd
+	}
+
+	nd.attr = best.attr
+	nd.threshold = best.threshold
+	if b.d.Attrs[best.attr].Kind == Numeric {
+		var left, right []Instance
+		for i := range insts {
+			v := insts[i].Vals[best.attr]
+			if IsMissing(v) {
+				continue // dropped from children; parent majority covers them
+			}
+			if v <= best.threshold {
+				left = append(left, insts[i])
+			} else {
+				right = append(right, insts[i])
+			}
+		}
+		if len(left) == 0 || len(right) == 0 {
+			nd.attr = -1
+			return nd
+		}
+		nd.children = []*node{b.build(left, depth+1), b.build(right, depth+1)}
+	} else {
+		k := b.d.Attrs[best.attr].NumValues()
+		parts := make([][]Instance, k)
+		for i := range insts {
+			v := insts[i].Vals[best.attr]
+			if IsMissing(v) {
+				continue
+			}
+			parts[int(v)] = append(parts[int(v)], insts[i])
+		}
+		nd.children = make([]*node, k)
+		for i, p := range parts {
+			if len(p) > 0 {
+				nd.children[i] = b.build(p, depth+1)
+			}
+		}
+	}
+	return nd
+}
+
+// errorEstimate is the C4.5 pessimistic upper bound on the error rate
+// of a leaf covering n instances with e errors, at confidence cf,
+// using the normal approximation to the binomial.
+func errorEstimate(n, e, cf float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	z := zValue(cf)
+	f := e / n
+	num := f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))
+	den := 1 + z*z/n
+	return num / den * n
+}
+
+// zValue approximates the standard normal quantile for the upper tail
+// probability cf (C4.5 uses cf=0.25 → z≈0.6745).
+func zValue(cf float64) float64 {
+	// Beasley-Springer-Moro style rational approximation of the
+	// inverse normal CDF at 1-cf.
+	p := 1 - cf
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	// Peter Acklam's approximation.
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	dd := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	plow, phigh := 0.02425, 1-0.02425
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((dd[0]*q+dd[1])*q+dd[2])*q+dd[3])*q + 1)
+	}
+}
+
+// prune applies subtree replacement: if the pessimistic error of a node
+// as a leaf does not exceed the summed pessimistic error of its
+// children, collapse it.
+func prune(n *node, cf float64, attrs []Attribute) float64 {
+	var total, errs float64
+	for c, w := range n.counts {
+		total += w
+		if c != n.majority {
+			errs += w
+		}
+	}
+	leafErr := errorEstimate(total, errs, cf)
+	if n.isLeaf() {
+		return leafErr
+	}
+	var subtreeErr float64
+	for _, c := range n.children {
+		if c != nil {
+			subtreeErr += prune(c, cf, attrs)
+		}
+	}
+	if leafErr <= subtreeErr+1e-9 {
+		n.attr = -1
+		n.children = nil
+		return leafErr
+	}
+	return subtreeErr
+}
+
+// Classify implements Classifier.
+func (t *Tree) Classify(vals []float64) int { return t.root.classify(vals, t.attrs) }
+
+// Distribution implements Classifier.
+func (t *Tree) Distribution(vals []float64) []float64 { return t.root.distribution(vals, t.attrs) }
+
+// Size returns the number of nodes.
+func (t *Tree) Size() int { return t.root.size() }
+
+// Depth returns the tree depth.
+func (t *Tree) Depth() int { return t.root.depth() }
+
+// String renders a compact description.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tree{nodes=%d depth=%d}", t.Size(), t.Depth())
+	return sb.String()
+}

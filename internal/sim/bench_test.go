@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkSleepEvent measures the scheduler's per-event cost.
+func BenchmarkSleepEvent(b *testing.B) {
+	env := NewEnv(1)
+	env.Go(func() {
+		for i := 0; i < b.N; i++ {
+			env.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkFutureRoundTrip measures a set/wait handoff between two
+// processes.
+func BenchmarkFutureRoundTrip(b *testing.B) {
+	env := NewEnv(1)
+	env.Go(func() {
+		for i := 0; i < b.N; i++ {
+			f := NewFuture[int](env)
+			env.Go(func() { f.Set(1) })
+			f.Wait()
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkQueueSendRecv measures producer/consumer throughput.
+func BenchmarkQueueSendRecv(b *testing.B) {
+	env := NewEnv(1)
+	q := NewQueue[int](env)
+	env.Go(func() {
+		for i := 0; i < b.N; i++ {
+			q.Send(i)
+		}
+		q.Close()
+	})
+	env.Go(func() {
+		for {
+			if _, ok := q.Recv(); !ok {
+				return
+			}
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}

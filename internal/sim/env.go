@@ -1,0 +1,269 @@
+// Package sim implements a deterministic discrete-event simulation
+// substrate with goroutine-based processes and a virtual clock.
+//
+// Every component of the OFC reproduction (FaaS platform, RAMCloud-like
+// cache, Swift-like object store, network and disks) runs as sim
+// processes: ordinary goroutines that only ever block through the
+// primitives of this package (Sleep, Future.Wait, Semaphore.Acquire,
+// Queue.Recv, WaitGroup.Wait). The scheduler advances the virtual clock
+// only when every process is blocked, which makes half-hour macro
+// experiments complete in milliseconds of host time while preserving
+// the timing relationships between components.
+//
+// Usage:
+//
+//	env := sim.NewEnv(seed)
+//	env.Go(func() { ... env.Sleep(10 * time.Millisecond) ... })
+//	env.Run() // returns when no process is runnable and no timer pending
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Time is an instant on the virtual clock, expressed as an offset from
+// the simulation epoch. Durations and instants share the same unit so
+// arithmetic stays trivial.
+type Time = time.Duration
+
+// timer is a pending wake-up in the event queue.
+type timer struct {
+	at  Time
+	seq int64 // FIFO tie-break for equal timestamps
+	ch  chan struct{}
+	fn  func() // optional callback (runs as its own process)
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Env is a simulation environment: a virtual clock, an event queue and
+// a census of runnable processes. An Env is safe for concurrent use by
+// the processes it spawned.
+type Env struct {
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when running drops to zero
+	now     Time
+	running int // processes currently runnable or executing
+	timers  timerHeap
+	seq     int64
+	stopped bool
+	limit   Time // horizon; 0 means none
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+}
+
+// NewEnv returns a fresh environment whose clock reads zero. The seed
+// feeds the environment RNG used by workloads so that experiments are
+// reproducible.
+func NewEnv(seed int64) *Env {
+	e := &Env{rng: rand.New(rand.NewSource(seed))}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// Rand returns a deterministic pseudo-random float64 in [0,1). It is
+// safe for concurrent use, though cross-process call ordering at equal
+// virtual timestamps is not deterministic; workloads that need strict
+// reproducibility should carry their own rand.Rand.
+func (e *Env) Rand() float64 {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return e.rng.Float64()
+}
+
+// NewRand derives an independent deterministic generator, for workloads
+// that need a private stream.
+func (e *Env) NewRand() *rand.Rand {
+	e.rngMu.Lock()
+	defer e.rngMu.Unlock()
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Go spawns fn as a new simulation process. It may be called before Run
+// or from inside another process.
+func (e *Env) Go(fn func()) {
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+	go func() {
+		defer e.exit()
+		fn()
+	}()
+}
+
+// exit retires the calling process.
+func (e *Env) exit() {
+	e.mu.Lock()
+	e.running--
+	if e.running == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// block marks the calling process as no longer runnable. The caller
+// must subsequently wait on a channel that a resumer closes *after*
+// calling unblock.
+func (e *Env) block() {
+	e.mu.Lock()
+	e.running--
+	if e.running == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+}
+
+// unblock marks one process runnable again, before it is woken.
+func (e *Env) unblock() {
+	e.mu.Lock()
+	e.running++
+	e.mu.Unlock()
+}
+
+// Sleep suspends the calling process for d of virtual time. Negative or
+// zero durations yield to other processes scheduled at the same instant.
+func (e *Env) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	t := &timer{at: e.now + d, seq: e.seq, ch: make(chan struct{})}
+	e.seq++
+	heap.Push(&e.timers, t)
+	e.running--
+	if e.running == 0 {
+		e.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	<-t.ch
+}
+
+// After schedules fn to run as a new process at now+d.
+func (e *Env) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.mu.Lock()
+	t := &timer{at: e.now + d, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.timers, t)
+	e.mu.Unlock()
+}
+
+// Every schedules fn at the given period until the simulation ends or
+// fn returns false.
+func (e *Env) Every(period time.Duration, fn func() bool) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	var tick func()
+	tick = func() {
+		if e.Stopped() {
+			return
+		}
+		if !fn() {
+			return
+		}
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+}
+
+// Stopped reports whether Stop was called or the horizon was reached.
+func (e *Env) Stopped() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stopped
+}
+
+// Stop asks Run to terminate at the next idle point. Pending timers are
+// discarded; blocked processes are abandoned (the goroutines leak until
+// process exit, which is acceptable for short-lived test binaries, or
+// their wakers run during teardown).
+func (e *Env) Stop() {
+	e.mu.Lock()
+	e.stopped = true
+	e.mu.Unlock()
+}
+
+// Run drives the simulation until no process is runnable and no timer
+// is pending, or the horizon (SetHorizon) is reached, or Stop is
+// called. It returns the final virtual time. Run must be called from a
+// plain goroutine, not from a simulation process.
+func (e *Env) Run() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		for e.running > 0 {
+			e.cond.Wait()
+		}
+		if e.stopped || len(e.timers) == 0 {
+			e.stopped = true
+			return e.now
+		}
+		t := heap.Pop(&e.timers).(*timer)
+		if e.limit > 0 && t.at > e.limit {
+			e.now = e.limit
+			e.stopped = true
+			return e.now
+		}
+		if t.at > e.now {
+			e.now = t.at
+		}
+		if t.fn != nil {
+			fn := t.fn
+			e.running++
+			go func() {
+				defer e.exit()
+				fn()
+			}()
+		} else {
+			e.running++
+			close(t.ch)
+		}
+	}
+}
+
+// SetHorizon caps the virtual clock: Run returns once the next event
+// would be after limit.
+func (e *Env) SetHorizon(limit time.Duration) {
+	e.mu.Lock()
+	e.limit = limit
+	e.mu.Unlock()
+}
+
+// String describes the environment state for debugging.
+func (e *Env) String() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return fmt.Sprintf("sim.Env{now=%v running=%d timers=%d}", e.now, e.running, len(e.timers))
+}

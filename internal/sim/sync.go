@@ -1,0 +1,260 @@
+package sim
+
+import "sync"
+
+// Future is a write-once value that simulation processes can wait on.
+// The zero value is not usable; create one with NewFuture.
+type Future[T any] struct {
+	env     *Env
+	mu      sync.Mutex
+	set     bool
+	val     T
+	waiters []chan struct{}
+}
+
+// NewFuture returns an unset future bound to env.
+func NewFuture[T any](env *Env) *Future[T] {
+	return &Future[T]{env: env}
+}
+
+// Set resolves the future and wakes all waiters. Setting twice panics:
+// a future models a single RPC reply or completion event.
+func (f *Future[T]) Set(v T) {
+	f.mu.Lock()
+	if f.set {
+		f.mu.Unlock()
+		panic("sim: Future set twice")
+	}
+	f.set = true
+	f.val = v
+	ws := f.waiters
+	f.waiters = nil
+	f.mu.Unlock()
+	for _, ch := range ws {
+		f.env.unblock()
+		close(ch)
+	}
+}
+
+// Done reports whether the future has been resolved.
+func (f *Future[T]) Done() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set
+}
+
+// Wait blocks the calling process until the future resolves and
+// returns its value.
+func (f *Future[T]) Wait() T {
+	f.mu.Lock()
+	if f.set {
+		v := f.val
+		f.mu.Unlock()
+		return v
+	}
+	ch := make(chan struct{})
+	f.waiters = append(f.waiters, ch)
+	f.mu.Unlock()
+	f.env.block()
+	<-ch
+	f.mu.Lock()
+	v := f.val
+	f.mu.Unlock()
+	return v
+}
+
+// WaitGroup mirrors sync.WaitGroup for simulation processes.
+type WaitGroup struct {
+	env     *Env
+	mu      sync.Mutex
+	n       int
+	waiters []chan struct{}
+}
+
+// NewWaitGroup returns an empty wait group bound to env.
+func NewWaitGroup(env *Env) *WaitGroup { return &WaitGroup{env: env} }
+
+// Add adds delta to the counter; when it reaches zero, waiters resume.
+func (w *WaitGroup) Add(delta int) {
+	w.mu.Lock()
+	w.n += delta
+	if w.n < 0 {
+		w.mu.Unlock()
+		panic("sim: negative WaitGroup counter")
+	}
+	var ws []chan struct{}
+	if w.n == 0 {
+		ws = w.waiters
+		w.waiters = nil
+	}
+	w.mu.Unlock()
+	for _, ch := range ws {
+		w.env.unblock()
+		close(ch)
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks the calling process until the counter reaches zero.
+func (w *WaitGroup) Wait() {
+	w.mu.Lock()
+	if w.n == 0 {
+		w.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	w.waiters = append(w.waiters, ch)
+	w.mu.Unlock()
+	w.env.block()
+	<-ch
+}
+
+// Semaphore is a counted resource usable from simulation processes.
+// Acquire order is FIFO, which keeps resource contention deterministic.
+type Semaphore struct {
+	env   *Env
+	mu    sync.Mutex
+	avail int
+	queue []semWaiter
+}
+
+type semWaiter struct {
+	n  int
+	ch chan struct{}
+}
+
+// NewSemaphore returns a semaphore with the given number of permits.
+func NewSemaphore(env *Env, permits int) *Semaphore {
+	return &Semaphore{env: env, avail: permits}
+}
+
+// Acquire blocks the calling process until n permits are available and
+// takes them.
+func (s *Semaphore) Acquire(n int) {
+	s.mu.Lock()
+	if len(s.queue) == 0 && s.avail >= n {
+		s.avail -= n
+		s.mu.Unlock()
+		return
+	}
+	ch := make(chan struct{})
+	s.queue = append(s.queue, semWaiter{n: n, ch: ch})
+	s.mu.Unlock()
+	s.env.block()
+	<-ch
+}
+
+// TryAcquire takes n permits if immediately available.
+func (s *Semaphore) TryAcquire(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.queue) == 0 && s.avail >= n {
+		s.avail -= n
+		return true
+	}
+	return false
+}
+
+// Release returns n permits and wakes queued acquirers in FIFO order.
+func (s *Semaphore) Release(n int) {
+	s.mu.Lock()
+	s.avail += n
+	var woken []chan struct{}
+	for len(s.queue) > 0 && s.avail >= s.queue[0].n {
+		w := s.queue[0]
+		s.queue = s.queue[1:]
+		s.avail -= w.n
+		woken = append(woken, w.ch)
+	}
+	s.mu.Unlock()
+	for _, ch := range woken {
+		s.env.unblock()
+		close(ch)
+	}
+}
+
+// Available reports the number of free permits.
+func (s *Semaphore) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
+}
+
+// Queue is an unbounded FIFO channel for simulation processes. Send
+// never blocks; Recv blocks until an item is available.
+type Queue[T any] struct {
+	env     *Env
+	mu      sync.Mutex
+	items   []T
+	waiters []chan struct{}
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to env.
+func NewQueue[T any](env *Env) *Queue[T] { return &Queue[T]{env: env} }
+
+// Send enqueues an item, waking one waiting receiver if any.
+func (q *Queue[T]) Send(v T) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		panic("sim: send on closed Queue")
+	}
+	q.items = append(q.items, v)
+	var ch chan struct{}
+	if len(q.waiters) > 0 {
+		ch = q.waiters[0]
+		q.waiters = q.waiters[1:]
+	}
+	q.mu.Unlock()
+	if ch != nil {
+		q.env.unblock()
+		close(ch)
+	}
+}
+
+// Close marks the queue closed; pending and future Recv calls drain
+// remaining items then return ok=false.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	q.mu.Unlock()
+	for _, ch := range ws {
+		q.env.unblock()
+		close(ch)
+	}
+}
+
+// Recv dequeues the next item, blocking while the queue is empty.
+// ok is false once the queue is closed and drained.
+func (q *Queue[T]) Recv() (v T, ok bool) {
+	for {
+		q.mu.Lock()
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			q.mu.Unlock()
+			return v, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return v, false
+		}
+		ch := make(chan struct{})
+		q.waiters = append(q.waiters, ch)
+		q.mu.Unlock()
+		q.env.block()
+		<-ch
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}

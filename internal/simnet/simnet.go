@@ -1,0 +1,208 @@
+// Package simnet models the cluster fabric of the OFC testbed: a set
+// of named nodes joined by a switched network with per-NIC
+// serialization, plus a local disk per node.
+//
+// The paper's testbed is six machines on a 10 Gb/s Ethernet switch with
+// one 480 GB SSD each. This package reproduces that topology as a
+// latency/bandwidth model on the sim virtual clock: transfers cost
+// transmit serialization on the sender NIC, propagation latency, and
+// receive serialization on the receiver NIC; disk I/O costs a seek/op
+// latency plus size over bandwidth, serialized per disk.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+// NodeID identifies a node in the network.
+type NodeID int
+
+// Config carries the fabric constants. The defaults (DefaultConfig)
+// follow the paper's testbed.
+type Config struct {
+	// LinkLatency is the one-way propagation latency between two
+	// distinct nodes (switch traversal included).
+	LinkLatency time.Duration
+	// LoopbackLatency is the one-way latency for a node talking to
+	// itself (kernel loopback).
+	LoopbackLatency time.Duration
+	// Bandwidth is the NIC line rate in bytes per second.
+	Bandwidth float64
+	// DiskReadLatency and DiskWriteLatency are per-operation costs.
+	DiskReadLatency  time.Duration
+	DiskWriteLatency time.Duration
+	// DiskReadBandwidth and DiskWriteBandwidth are in bytes per second.
+	DiskReadBandwidth  float64
+	DiskWriteBandwidth float64
+}
+
+// DefaultConfig models the paper's testbed: 10 GbE and a SATA SSD.
+func DefaultConfig() Config {
+	return Config{
+		LinkLatency:        25 * time.Microsecond,
+		LoopbackLatency:    5 * time.Microsecond,
+		Bandwidth:          10e9 / 8, // 10 Gb/s
+		DiskReadLatency:    80 * time.Microsecond,
+		DiskWriteLatency:   50 * time.Microsecond,
+		DiskReadBandwidth:  500e6,
+		DiskWriteBandwidth: 450e6,
+	}
+}
+
+// Network is the cluster fabric: nodes, NICs and disks.
+type Network struct {
+	env   *sim.Env
+	cfg   Config
+	mu    sync.Mutex
+	nodes []*Node
+}
+
+// Node is one machine: a transmit NIC, a receive NIC and a disk, each a
+// FIFO resource.
+type Node struct {
+	ID   NodeID
+	Name string
+
+	net  *Network
+	tx   *sim.Semaphore
+	rx   *sim.Semaphore
+	disk *sim.Semaphore
+
+	statsMu   sync.Mutex
+	bytesSent int64
+	bytesRecv int64
+	diskRead  int64
+	diskWrite int64
+}
+
+// New creates an empty network over env with the given constants.
+func New(env *sim.Env, cfg Config) *Network {
+	if cfg.Bandwidth <= 0 {
+		panic("simnet: non-positive bandwidth")
+	}
+	return &Network{env: env, cfg: cfg}
+}
+
+// Env returns the simulation environment the network runs on.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Config returns the fabric constants.
+func (n *Network) Config() Config { return n.cfg }
+
+// AddNode registers a machine and returns it.
+func (n *Network) AddNode(name string) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	node := &Node{
+		ID:   NodeID(len(n.nodes)),
+		Name: name,
+		net:  n,
+		tx:   sim.NewSemaphore(n.env, 1),
+		rx:   sim.NewSemaphore(n.env, 1),
+		disk: sim.NewSemaphore(n.env, 1),
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) *Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: unknown node %d", id))
+	}
+	return n.nodes[id]
+}
+
+// Nodes returns all registered nodes.
+func (n *Network) Nodes() []*Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*Node, len(n.nodes))
+	copy(out, n.nodes)
+	return out
+}
+
+// txTime is the serialization time of size bytes at line rate.
+func (n *Network) txTime(size int64) time.Duration {
+	if size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+}
+
+// Transfer moves size bytes from one node to another, blocking the
+// calling process for the full transfer duration. Same-node transfers
+// cost only the loopback latency.
+func (n *Network) Transfer(from, to NodeID, size int64) {
+	if from == to {
+		n.env.Sleep(n.cfg.LoopbackLatency)
+		return
+	}
+	src, dst := n.Node(from), n.Node(to)
+	tx := n.txTime(size)
+
+	src.tx.Acquire(1)
+	n.env.Sleep(tx)
+	src.tx.Release(1)
+
+	n.env.Sleep(n.cfg.LinkLatency)
+
+	dst.rx.Acquire(1)
+	n.env.Sleep(tx)
+	dst.rx.Release(1)
+
+	src.statsMu.Lock()
+	src.bytesSent += size
+	src.statsMu.Unlock()
+	dst.statsMu.Lock()
+	dst.bytesRecv += size
+	dst.statsMu.Unlock()
+}
+
+// Call performs a synchronous RPC: the request payload travels from
+// caller to callee, serve runs (its virtual duration is whatever serve
+// itself spends), and the response travels back. It returns serve's
+// result.
+func Call[T any](n *Network, from, to NodeID, reqSize, respSize int64, serve func() T) T {
+	n.Transfer(from, to, reqSize)
+	v := serve()
+	n.Transfer(to, from, respSize)
+	return v
+}
+
+// DiskRead charges a read of size bytes against the node's disk,
+// blocking the calling process.
+func (nd *Node) DiskRead(size int64) {
+	cfg := nd.net.cfg
+	nd.disk.Acquire(1)
+	nd.net.env.Sleep(cfg.DiskReadLatency + time.Duration(float64(size)/cfg.DiskReadBandwidth*float64(time.Second)))
+	nd.disk.Release(1)
+	nd.statsMu.Lock()
+	nd.diskRead += size
+	nd.statsMu.Unlock()
+}
+
+// DiskWrite charges a write of size bytes against the node's disk,
+// blocking the calling process.
+func (nd *Node) DiskWrite(size int64) {
+	cfg := nd.net.cfg
+	nd.disk.Acquire(1)
+	nd.net.env.Sleep(cfg.DiskWriteLatency + time.Duration(float64(size)/cfg.DiskWriteBandwidth*float64(time.Second)))
+	nd.disk.Release(1)
+	nd.statsMu.Lock()
+	nd.diskWrite += size
+	nd.statsMu.Unlock()
+}
+
+// Stats reports cumulative traffic counters for the node.
+func (nd *Node) Stats() (bytesSent, bytesRecv, diskRead, diskWrite int64) {
+	nd.statsMu.Lock()
+	defer nd.statsMu.Unlock()
+	return nd.bytesSent, nd.bytesRecv, nd.diskRead, nd.diskWrite
+}

@@ -1,0 +1,48 @@
+// Package workload implements the paper's evaluation workloads: the 19
+// single-stage multimedia functions, the four multi-stage applications
+// (MapReduce word count, THIS, IMAD, ServerlessBench Image Processing),
+// the FaaSLoad load injector (§7, Appendix A) and trace replay.
+//
+// Functions are synthetic generative models: each has a memory law, a
+// compute-time law and an output-size law over the input object's
+// descriptive features and its function-specific arguments. The laws
+// are non-trivial (the paper's Figure 2 point: memory is not
+// predictable from any single feature) but learnable from a finite
+// input pool, matching the behaviour FaaSLoad produces with its
+// prepared datasets.
+//
+// Single-stage functions (input type, argument, memory drivers):
+//
+//	wand_blur          image  sigma      frame×(2+σ/2) working copies
+//	wand_resize        image  scale      frame×(2+1.2·scale)
+//	wand_sepia         image  threshold  frame×(2+0.8·t)
+//	wand_rotate        image  angle      frame×(2.5+0.004·deg)
+//	wand_denoise       image  strength   frame×(3+0.8·s)
+//	wand_edge          image  radius     frame×(2+0.6·r)
+//	wand_sharpen       image  amount     frame×(2+0.7·a)
+//	wand_grayscale     image  depth      frame×~1.5
+//	wand_crop          image  ratio      frame×(1.5+ratio)
+//	wand_watermark     image  opacity    frame×(2.2+0.5·o)
+//	sharp_resize       image  width      frame×2 (fast resize)
+//	audio_compress     audio  quality    PCM working set ×(1+q/8)
+//	speech_recognition audio  beam       180 MB model + duration-scaled lattice
+//	audio_normalize    audio  gain       PCM working set
+//	video_grayscale    video  depth      ~16 decoded frames resident
+//	video_transcode    video  crf        lookahead window of frames
+//	video_thumbnail    video  count      count+2 decoded frames
+//	text_summary       text   ratio      ~6× text (sentence graph)
+//	word_frequency     text   top        ~2.5× text (hash table)
+//
+// where frame = width × height × channels × 4 bytes. Each law also
+// carries ±3 % per-input content noise and ±2.5 % per-invocation
+// jitter — the irreducible error floor that keeps Table 1's accuracy
+// at the paper's levels rather than at 100 %.
+//
+// Multi-stage applications (pre-chunked inputs, cacheable
+// intermediates):
+//
+//	map_reduce       1 MB text parts → per-part counts → reduce
+//	THIS             4 s video segments → decoded frames → processed frames → merge
+//	IMAD             app → {6 icons, strings} → {reports} → verdict
+//	ImageProcessing  image → metadata → transformed → thumbnail → upload
+package workload

@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/metrics"
+	"ofc/internal/sim"
+)
+
+// FaaSLoad is the load injector of the paper's macro experiments
+// (§7.2.2, Appendix A): it emulates several tenants, each owning one
+// function (or pipeline), prepares their input data, and fires
+// invocations at periodic or exponentially distributed intervals over
+// an observation window.
+type FaaSLoad struct {
+	env      *sim.Env
+	platform *faas.Platform
+	rng      *rand.Rand
+
+	mu      sync.Mutex
+	tenants []*tenantState
+}
+
+// TenantReport aggregates one tenant's results.
+type TenantReport struct {
+	Name        string
+	Invocations int
+	Failures    int
+	ColdStarts  int
+	Retried     int
+	Rescued     int
+	// TotalExec is the sum of invocation (or pipeline) durations —
+	// the quantity Figure 9 plots.
+	TotalExec              time.Duration
+	TotalE, TotalT, TotalL time.Duration
+	BytesIn, BytesOut      int64
+	// P50 and P99 are per-invocation latency percentiles.
+	P50, P99 time.Duration
+}
+
+type tenantState struct {
+	report TenantReport
+	lat    metrics.Histogram
+	mu     sync.Mutex
+	run    func(rng *rand.Rand, id string) (time.Duration, *statsDelta)
+	mean   time.Duration
+	period bool
+	// schedule, when non-empty, replays explicit offsets instead of a
+	// stochastic arrival process.
+	schedule []time.Duration
+}
+
+type statsDelta struct {
+	fail, cold, retried, rescued int
+	e, t, l                      time.Duration
+	bytesIn, bytesOut            int64
+}
+
+// NewFaaSLoad builds an injector over a platform.
+func NewFaaSLoad(env *sim.Env, platform *faas.Platform, seed int64) *FaaSLoad {
+	return &FaaSLoad{env: env, platform: platform, rng: rand.New(rand.NewSource(seed))}
+}
+
+// AddFunctionTenant registers a tenant invoking a single-stage
+// function with inputs from pool.
+func (fl *FaaSLoad) AddFunctionTenant(name string, spec *Spec, fn *faas.Function, pool *InputPool, mean time.Duration, periodic bool) {
+	rng := rand.New(rand.NewSource(fl.rng.Int63()))
+	st := &tenantState{report: TenantReport{Name: name}, mean: mean, period: periodic}
+	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+		in := pool.Pick()
+		args := spec.GenArgs(rng)
+		res := fl.platform.Invoke(NewRequest(fn, spec, in, args))
+		d := &statsDelta{e: res.Extract, t: res.Transform, l: res.Load,
+			bytesIn: res.BytesIn, bytesOut: res.BytesOut}
+		if res.Err != nil {
+			d.fail = 1
+		}
+		if res.ColdStart {
+			d.cold = 1
+		}
+		if res.Retried {
+			d.retried = 1
+		}
+		if res.Rescued {
+			d.rescued = 1
+		}
+		return res.Duration(), d
+	}
+	fl.add(st)
+}
+
+// AddPipelineTenant registers a tenant running a pipeline.
+func (fl *FaaSLoad) AddPipelineTenant(name string, pl *Pipeline, pool *InputPool, mean time.Duration, periodic bool) {
+	st := &tenantState{report: TenantReport{Name: name}, mean: mean, period: periodic}
+	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+		in := pool.Pick()
+		res := pl.Run(fl.platform, in, id)
+		e, t, l := res.Phases()
+		d := &statsDelta{e: e, t: t, l: l}
+		for _, sr := range res.Results {
+			d.bytesIn += sr.BytesIn
+			d.bytesOut += sr.BytesOut
+			if sr.ColdStart {
+				d.cold++
+			}
+			if sr.Retried {
+				d.retried++
+			}
+			if sr.Rescued {
+				d.rescued++
+			}
+		}
+		if res.Err != nil {
+			d.fail = 1
+		}
+		return res.Duration(), d
+	}
+	fl.add(st)
+}
+
+func (fl *FaaSLoad) add(st *tenantState) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	fl.tenants = append(fl.tenants, st)
+}
+
+// Start launches one process per tenant, firing invocations until the
+// observation window closes. Invocations started before the deadline
+// run to completion.
+func (fl *FaaSLoad) Start(window time.Duration) {
+	fl.mu.Lock()
+	tenants := append([]*tenantState{}, fl.tenants...)
+	fl.mu.Unlock()
+	for ti, st := range tenants {
+		st := st
+		rng := rand.New(rand.NewSource(fl.rng.Int63()))
+		prefix := fmt.Sprintf("t%d", ti)
+		fl.env.Go(func() {
+			seq := 0
+			for {
+				var wait time.Duration
+				switch {
+				case len(st.schedule) > 0:
+					if seq >= len(st.schedule) {
+						return
+					}
+					next := st.schedule[seq]
+					now := time.Duration(fl.env.Now())
+					if next < now {
+						next = now
+					}
+					wait = next - now
+				case st.period:
+					wait = st.mean
+				default:
+					// Exponential inter-arrival times with the given mean.
+					wait = time.Duration(-math.Log(1-rng.Float64()) * float64(st.mean))
+				}
+				if fl.env.Now()+wait >= sim.Time(window) {
+					return
+				}
+				fl.env.Sleep(wait)
+				seq++
+				id := fmt.Sprintf("%s-%d", prefix, seq)
+				dur, delta := st.run(rng, id)
+				st.lat.Add(dur)
+				st.mu.Lock()
+				st.report.Invocations++
+				st.report.TotalExec += dur
+				st.report.Failures += delta.fail
+				st.report.ColdStarts += delta.cold
+				st.report.Retried += delta.retried
+				st.report.Rescued += delta.rescued
+				st.report.TotalE += delta.e
+				st.report.TotalT += delta.t
+				st.report.TotalL += delta.l
+				st.report.BytesIn += delta.bytesIn
+				st.report.BytesOut += delta.bytesOut
+				st.mu.Unlock()
+			}
+		})
+	}
+}
+
+// Reports returns the per-tenant aggregates.
+func (fl *FaaSLoad) Reports() []TenantReport {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	out := make([]TenantReport, 0, len(fl.tenants))
+	for _, st := range fl.tenants {
+		st.mu.Lock()
+		rep := st.report
+		st.mu.Unlock()
+		rep.P50 = st.lat.Median()
+		rep.P99 = st.lat.P99()
+		out = append(out, rep)
+	}
+	return out
+}
+
+// AddTraceTenant registers a tenant replaying an explicit invocation
+// schedule (offsets from the window start), the way production traces
+// à la Azure Functions (Shahrad et al.) are replayed. Offsets past the
+// window are dropped by Start's deadline check.
+func (fl *FaaSLoad) AddTraceTenant(name string, spec *Spec, fn *faas.Function, pool *InputPool, offsets []time.Duration) {
+	rng := rand.New(rand.NewSource(fl.rng.Int63()))
+	st := &tenantState{report: TenantReport{Name: name}}
+	st.schedule = append([]time.Duration{}, offsets...)
+	sort.Slice(st.schedule, func(i, j int) bool { return st.schedule[i] < st.schedule[j] })
+	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+		in := pool.Pick()
+		args := spec.GenArgs(rng)
+		res := fl.platform.Invoke(NewRequest(fn, spec, in, args))
+		d := &statsDelta{e: res.Extract, t: res.Transform, l: res.Load,
+			bytesIn: res.BytesIn, bytesOut: res.BytesOut}
+		if res.Err != nil {
+			d.fail = 1
+		}
+		if res.ColdStart {
+			d.cold = 1
+		}
+		return res.Duration(), d
+	}
+	fl.add(st)
+}
+
+// GenBurstyTrace synthesizes a production-style arrival trace over a
+// window: a baseline Poisson process plus exponentially-sized bursts
+// of back-to-back invocations (the bursty behaviour Shahrad et al.
+// observe that keep-alive policies struggle with, §2.2.1).
+func GenBurstyTrace(rng *rand.Rand, window time.Duration, meanInterval time.Duration, burstEvery time.Duration, meanBurst int) []time.Duration {
+	var out []time.Duration
+	at := time.Duration(0)
+	nextBurst := time.Duration(float64(burstEvery) * rng.ExpFloat64())
+	for at < window {
+		at += time.Duration(-math.Log(1-rng.Float64()) * float64(meanInterval))
+		if at >= window {
+			break
+		}
+		out = append(out, at)
+		if at >= nextBurst {
+			n := 1 + rng.Intn(2*meanBurst)
+			for i := 0; i < n; i++ {
+				b := at + time.Duration(i+1)*200*time.Millisecond
+				if b < window {
+					out = append(out, b)
+				}
+			}
+			nextBurst = at + time.Duration(float64(burstEvery)*rng.ExpFloat64())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LoadTraceCSV parses one invocation offset per line, in seconds
+// (decimal). Blank lines and lines starting with '#' are skipped.
+func LoadTraceCSV(r io.Reader) ([]time.Duration, error) {
+	var out []time.Duration
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		secs, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if secs < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: negative offset", line)
+		}
+		out = append(out, time.Duration(secs*float64(time.Second)))
+	}
+	return out, sc.Err()
+}

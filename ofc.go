@@ -1,0 +1,140 @@
+// Package ofc is a from-scratch Go reproduction of "OFC: An
+// Opportunistic Caching System for FaaS Platforms" (Mvondo et al.,
+// EuroSys 2021): a transparent, vertically and horizontally elastic
+// in-memory caching system for FaaS platforms that feeds on the memory
+// tenants over-book and keep-alive sandboxes leave idle.
+//
+// The repository implements every subsystem the paper builds on — an
+// OpenWhisk-like FaaS platform, a RAMCloud-like distributed in-memory
+// store, a Swift-like object store, C4.5/RandomForest/Hoeffding
+// decision trees — over a deterministic discrete-event simulation of
+// the paper's six-machine testbed, and regenerates every table and
+// figure of the evaluation.
+//
+// Quick start:
+//
+//	sys := ofc.NewSystem(ofc.DefaultOptions())
+//	fn := &ofc.Function{
+//	    Name: "hello", Tenant: "me", MemoryBooked: 256 << 20,
+//	    Body: func(ctx *ofc.Ctx) error {
+//	        blob, err := ctx.Extract("bucket/in")
+//	        if err != nil { return err }
+//	        if err := ctx.Transform(20*time.Millisecond, 96<<20); err != nil { return err }
+//	        return ctx.Load("bucket/out", ofc.Blob{Size: blob.Size}, ofc.KindFinal)
+//	    },
+//	}
+//	sys.Register(fn)
+//	sys.Run(func() {
+//	    sys.RSDS.Put(sys.CtrlNode, "bucket/in", ofc.Blob{Size: 64 << 10}, nil, false)
+//	    res := sys.Platform.Invoke(&ofc.Request{Function: fn, InputKeys: []string{"bucket/in"}})
+//	    fmt.Println(res.Duration())
+//	})
+//
+// See the examples directory for runnable programs and cmd/ofc-bench
+// for the full evaluation harness.
+package ofc
+
+import (
+	"ofc/internal/core"
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
+	"ofc/internal/objstore"
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+	"ofc/internal/workload"
+)
+
+// Core system types.
+type (
+	// System is a deployed OFC stack (platform + cache + RSDS + ML).
+	System = core.System
+	// Options configures a System.
+	Options = core.Options
+	// Predictor serves per-invocation memory and caching-benefit
+	// predictions.
+	Predictor = core.Predictor
+	// ModelTrainer maintains the per-function models.
+	ModelTrainer = core.ModelTrainer
+	// Sample is one training observation.
+	Sample = core.Sample
+	// CacheAgent manages one node's cache share.
+	CacheAgent = core.CacheAgent
+	// RCLib is the transparent storage proxy.
+	RCLib = core.RCLib
+)
+
+// FaaS platform types.
+type (
+	// Function is a registered cloud function.
+	Function = faas.Function
+	// Request is one invocation request.
+	Request = faas.Request
+	// Result is an invocation outcome with per-phase timing.
+	Result = faas.Result
+	// Ctx is the execution context of a function body.
+	Ctx = faas.Ctx
+	// Blob is an object payload.
+	Blob = kvstore.Blob
+	// ObjKind classifies written objects for the caching policy.
+	ObjKind = faas.ObjKind
+)
+
+// Object kinds (§6.3 caching policy).
+const (
+	KindInput        = faas.KindInput
+	KindIntermediate = faas.KindIntermediate
+	KindFinal        = faas.KindFinal
+)
+
+// Simulation substrate types, for callers that build custom scenarios.
+type (
+	// Env is the discrete-event simulation environment.
+	Env = sim.Env
+	// Network is the cluster fabric model.
+	Network = simnet.Network
+	// NodeID identifies a node.
+	NodeID = simnet.NodeID
+)
+
+// Workload types (the paper's 19 functions, 4 pipelines, FaaSLoad).
+type (
+	// Spec is a synthetic single-stage function model.
+	Spec = workload.Spec
+	// Pipeline is a multi-stage application.
+	Pipeline = workload.Pipeline
+	// InputPool is a prepared input dataset.
+	InputPool = workload.InputPool
+	// FaaSLoad is the multi-tenant load injector.
+	FaaSLoad = workload.FaaSLoad
+	// TenantProfile is the memory-booking behaviour (§7.2.2).
+	TenantProfile = workload.TenantProfile
+)
+
+// Tenant profiles.
+const (
+	ProfileNormal   = workload.ProfileNormal
+	ProfileNaive    = workload.ProfileNaive
+	ProfileAdvanced = workload.ProfileAdvanced
+)
+
+// NewSystem assembles a full OFC deployment (Figure 4): a controller
+// node, a storage node and Options.Workers worker nodes.
+func NewSystem(opts Options) *System { return core.NewSystem(opts) }
+
+// DefaultOptions mirrors the paper's testbed shape.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewEnv creates a standalone simulation environment.
+func NewEnv(seed int64) *Env { return sim.NewEnv(seed) }
+
+// Specs returns the 19 single-stage multimedia function models.
+func Specs() []*Spec { return workload.Specs() }
+
+// SpecByName finds one of the 19 function models.
+func SpecByName(name string) *Spec { return workload.SpecByName(name) }
+
+// SwiftProfile is the paper-calibrated Swift latency model.
+func SwiftProfile() objstore.Profile { return objstore.SwiftProfile() }
+
+// S3Profile is the AWS-S3-like latency model of the motivation runs.
+func S3Profile() objstore.Profile { return objstore.S3Profile() }

@@ -1,0 +1,97 @@
+package ofc_test
+
+// Public-API smoke tests: everything a downstream user touches must be
+// reachable through the root package alone.
+
+import (
+	"testing"
+	"time"
+
+	"ofc"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	sys := ofc.NewSystem(ofc.DefaultOptions())
+	fn := &ofc.Function{
+		Name: "hello", Tenant: "api", MemoryBooked: 512 << 20,
+		InputType: "image", ArgNames: []string{"sigma"},
+		Body: func(ctx *ofc.Ctx) error {
+			blob, err := ctx.Extract(ctx.InputKeys()[0])
+			if err != nil {
+				return err
+			}
+			if err := ctx.Transform(15*time.Millisecond, 96<<20); err != nil {
+				return err
+			}
+			return ctx.Load("api/out", ofc.Blob{Size: blob.Size / 2}, ofc.KindFinal)
+		},
+	}
+	sys.Register(fn)
+
+	features := map[string]float64{"size": 64 << 10, "width": 800, "height": 600, "channels": 3}
+	var samples []ofc.Sample
+	schema := sys.Pred.Schema(fn)
+	for i := 0; i < 150; i++ {
+		vals := make([]float64, len(schema.Names()))
+		for j, n := range schema.Names() {
+			switch n {
+			case "size":
+				vals[j] = float64((1 + i%6) * 16 << 10)
+			case "width":
+				vals[j] = 800
+			case "height":
+				vals[j] = 600
+			case "channels":
+				vals[j] = 3
+			case "sigma":
+				vals[j] = float64(1 + i%3)
+			}
+		}
+		samples = append(samples, ofc.Sample{
+			Vals: vals, PeakMem: 96 << 20,
+			Extract: 40 * time.Millisecond, Transform: 15 * time.Millisecond, Load: 115 * time.Millisecond,
+			BenefitKnown: true,
+		})
+	}
+	sys.Trainer.Pretrain(fn, samples)
+
+	var first, second *ofc.Result
+	sys.Run(func() {
+		sys.RSDS.Put(sys.CtrlNode, "api/in", ofc.Blob{Size: 64 << 10}, nil, false)
+		req := func() *ofc.Request {
+			return &ofc.Request{Function: fn, InputKeys: []string{"api/in"},
+				Args: map[string]float64{"sigma": 2}, InputFeatures: features}
+		}
+		first = sys.Platform.Invoke(req())
+		sys.Env.Sleep(time.Second)
+		second = sys.Platform.Invoke(req())
+	})
+	if first.Err != nil || second.Err != nil {
+		t.Fatalf("errors: %v %v", first.Err, second.Err)
+	}
+	if second.Extract >= first.Extract {
+		t.Errorf("no caching effect: first E=%v second E=%v", first.Extract, second.Extract)
+	}
+	if sys.RC.HitRatio() <= 0 {
+		t.Error("no hits recorded")
+	}
+	if len(sys.Platform.Activations(0)) == 0 {
+		t.Error("no activation records")
+	}
+}
+
+func TestPublicAPIWorkloadCatalog(t *testing.T) {
+	specs := ofc.Specs()
+	if len(specs) != 19 {
+		t.Fatalf("specs=%d", len(specs))
+	}
+	if ofc.SpecByName("wand_blur") == nil || ofc.SpecByName("nope") != nil {
+		t.Error("SpecByName broken")
+	}
+	if ofc.SwiftProfile().ReadBase <= 0 || ofc.S3Profile().ReadBase <= 0 {
+		t.Error("profiles unusable")
+	}
+	if ofc.ProfileNaive.String() != "naive" || ofc.ProfileAdvanced.String() != "advanced" {
+		t.Error("profile names broken")
+	}
+}
