@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench repro scorecard clean
+.PHONY: all check build test race test-race vet bench repro scorecard clean
 
-all: build test
+all: check
+
+# The default gate: build, vet, full tests, then the race detector over
+# the concurrency-heavy packages (cache cluster, proxy/resilience, chaos).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,9 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+test-race:
+	$(GO) test -race ./internal/kvstore/... ./internal/core/... ./internal/chaos/...
 
 vet:
 	$(GO) vet ./...

@@ -11,7 +11,7 @@
 // Experiment ids follow DESIGN.md's per-experiment index: summary,
 // fig2, fig3, table1, benefit, fig5, fig6, maturation, fig7, fig7x5,
 // fig8, migration, fig9 (also prints fig10 and table2), macro24,
-// ablations, resilience, chunking.
+// ablations, resilience, chaos, chunking.
 package main
 
 import (
@@ -173,6 +173,13 @@ func registry() []experiment {
 		{"resilience", "worker fail-stop + RAMCloud-style recovery", func(seed int64, quick bool) {
 			tab, _ := experiments.Resilience(seed)
 			emit(tab)
+		}},
+		{"chaos", "kill-one-node-per-minute chaos drill (graceful degradation)", func(seed int64, quick bool) {
+			tab, res := experiments.Chaos(seed, quick)
+			emit(tab)
+			for _, line := range res.Applied {
+				fmt.Println("  event:", line)
+			}
 		}},
 		{"chunking", "large-object striping extension (§6.1 future work)", func(seed int64, quick bool) {
 			tab, _ := experiments.ChunkingExtension(seed)

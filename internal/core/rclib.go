@@ -43,6 +43,12 @@ type RCLib struct {
 	// eviction, persistence rides on RAMCloud's replication.
 	relaxed []string
 
+	// res and brk implement graceful degradation: timeouts, retries
+	// and per-server circuit breakers around every cache op, with
+	// transparent RSDS fallback when the cache is unavailable.
+	res ResilienceConfig
+	brk *brk
+
 	statsMu   sync.Mutex
 	hits      int64
 	localHits int64
@@ -56,6 +62,11 @@ type RCLib struct {
 	writeBacks   int64
 	bypassWrites int64
 	ephemeral    int64 // bytes of intermediate+final outputs produced
+	// degradation counters
+	fallbackReads  int64
+	fallbackWrites int64
+	cacheRetries   int64
+	cacheTimeouts  int64
 }
 
 // NewRCLib builds the proxy over the cache and the RSDS.
@@ -66,7 +77,9 @@ func NewRCLib(env *sim.Env, kv *kvstore.Cluster, rsds *objstore.Store) *RCLib {
 		rsds:      rsds,
 		pending:   make(map[string]*sim.Future[struct{}]),
 		pipelines: make(map[string][]string),
+		res:       DefaultResilienceConfig(),
 	}
+	rc.brk = newBrk(env, rc.res)
 	// Consistency webhooks for non-FaaS clients (§6.2).
 	rsds.OnRead(func(key string, m objstore.Meta) {
 		if !m.IsShadow() {
@@ -133,8 +146,18 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 		return rc.persistChunkedBody(ctx, key, version, n)
 	}
 	node := ctx.Node()
-	blob, meta, err := rc.kv.Read(node, key)
+	blob, meta, err := rc.kvRead(node, key)
 	if err != nil {
+		if isCacheUnavailable(err) {
+			// The cache is temporarily unreachable. The acknowledged
+			// payload survives in backup replicas, so the pending
+			// write-back must NOT be resolved — reschedule the persist
+			// for after the store has had time to recover.
+			rc.env.After(rc.res.PersistRetryDelay, func() {
+				rc.schedulePersist(node, key, version)
+			})
+			return nil
+		}
 		// The object vanished (external invalidation); nothing to push.
 		rc.resolvePending(key)
 		return nil
@@ -178,7 +201,7 @@ func (rc *RCLib) resolvePending(key string) {
 // Get implements faas.Storage: cache first, RSDS on miss, with
 // admission of cache-worthy inputs.
 func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.Blob, error) {
-	blob, meta, err := rc.kv.Read(caller, key)
+	blob, meta, err := rc.kvRead(caller, key)
 	if err == nil {
 		rc.statsMu.Lock()
 		rc.hits++
@@ -191,7 +214,8 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 		rc.statsMu.Unlock()
 		return blob, nil
 	}
-	if rc.chunkingOn() {
+	unavailable := isCacheUnavailable(err)
+	if !unavailable && rc.chunkingOn() {
 		if blob, ok := rc.getChunked(caller, key); ok {
 			rc.statsMu.Lock()
 			rc.hits++
@@ -204,17 +228,34 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 	}
 	rc.statsMu.Lock()
 	rc.misses++
+	if unavailable {
+		rc.fallbackReads++
+	}
 	if rc.isEphemeralKey(key) {
 		rc.ephemMisses++
 	}
 	rc.statsMu.Unlock()
-	blob, _, rerr := rc.rsds.Get(caller, key, false)
+	blob, m, rerr := rc.rsds.Get(caller, key, false)
+	if rerr == nil && m.IsShadow() {
+		// The authoritative payload is a not-yet-persisted cache write
+		// (we got here because the cache is unreachable). Wait for the
+		// pending write-back — the Persistor retries until the cache
+		// recovers — then re-read the now-persisted payload.
+		rc.mu.Lock()
+		f := rc.pending[key]
+		rc.mu.Unlock()
+		if f != nil {
+			f.Wait()
+			blob, _, rerr = rc.rsds.Get(caller, key, false)
+		}
+	}
 	if rerr != nil {
 		return faas.Blob{}, rerr
 	}
-	if opts.ShouldCache && blob.Size <= rc.kv.Config().MaxObjectSize {
+	if opts.ShouldCache && !unavailable && blob.Size <= rc.kv.Config().MaxObjectSize {
 		// Admit off the critical path; a failed admission (no space)
-		// is only a lost opportunity.
+		// is only a lost opportunity. Skipped while the cache is
+		// unavailable — the breaker decides when to come back.
 		rc.env.Go(func() {
 			_, werr := rc.kv.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
 			if werr == nil {
@@ -265,11 +306,13 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 			rc.statsMu.Unlock()
 			return nil
 		}
-		_, err := rc.kv.Write(caller, key, blob, map[string]string{
+		_, err := rc.kvWrite(caller, key, blob, map[string]string{
 			"kind": "intermediate", "pipeline": opts.Pipeline, "dirty": "0",
 		}, caller)
 		if err != nil {
-			// Cache full: fall back to the RSDS (transparently slower).
+			// Cache full or unreachable: fall back to the RSDS
+			// (transparently slower).
+			rc.countWriteFallback(err)
 			rc.rsds.Put(caller, key, blob, nil, false)
 			return nil
 		}
@@ -283,25 +326,41 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	if rc.isRelaxed(key) {
 		// §6.2 relaxed mode: cache-resident, lazily written back. The
 		// version tag 0 makes WriteBackNow use a plain Put.
-		_, err := rc.kv.Write(caller, key, blob, map[string]string{
+		_, err := rc.kvWrite(caller, key, blob, map[string]string{
 			"kind": "final", "dirty": "1", "version": "0",
 		}, caller)
 		if err != nil {
+			rc.countWriteFallback(err)
 			rc.rsds.Put(caller, key, blob, nil, false)
 		}
 		return nil
 	}
 	// Final output: shadow + cache + async persist.
 	version := rc.rsds.PutShadow(caller, key, blob.Size)
-	_, err := rc.kv.Write(caller, key, blob, map[string]string{
+	_, err := rc.kvWrite(caller, key, blob, map[string]string{
 		"kind": "final", "dirty": "1", "version": strconv.FormatUint(version, 10),
 	}, caller)
 	if err != nil {
-		// No cache room: persist synchronously (vanilla path).
+		// No cache room or cache unreachable: persist synchronously
+		// (the vanilla write-through path). The shadow version keeps
+		// ordering with any concurrent persistors.
+		rc.countWriteFallback(err)
 		return rc.rsds.PersistPayload(caller, key, blob, version)
 	}
 	rc.schedulePersist(caller, key, version)
 	return nil
+}
+
+// countWriteFallback records a cache-write fallback to the RSDS when
+// the cause was unavailability (capacity misses are the ordinary
+// bypass path, not degradation).
+func (rc *RCLib) countWriteFallback(err error) {
+	if !isCacheUnavailable(err) {
+		return
+	}
+	rc.statsMu.Lock()
+	rc.fallbackWrites++
+	rc.statsMu.Unlock()
 }
 
 // schedulePersist injects a Persistor invocation for (key, version).
@@ -312,11 +371,20 @@ func (rc *RCLib) schedulePersist(node simnet.NodeID, key string, version uint64)
 	}
 	rc.mu.Unlock()
 	rc.env.Go(func() {
-		rc.platform.Invoke(&faas.Request{
+		r := rc.platform.Invoke(&faas.Request{
 			Function:  rc.persistFn,
 			InputKeys: []string{key},
 			Args:      map[string]float64{"version": float64(version)},
 		})
+		if r != nil && r.Err != nil {
+			// The Persistor invocation itself failed (e.g. it was routed
+			// to the dying master for locality). The acked payload still
+			// lives in backup replicas — retry until persistBody gets to
+			// run and decide.
+			rc.env.After(rc.res.PersistRetryDelay, func() {
+				rc.schedulePersist(node, key, version)
+			})
+		}
 	})
 }
 
@@ -354,7 +422,7 @@ func (rc *RCLib) PipelineDone(pipeline string) {
 // the CacheAgent when reclaiming space). Returns false when the object
 // is not dirty or vanished.
 func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
-	blob, meta, err := rc.kv.Read(node, key)
+	blob, meta, err := rc.kvRead(node, key)
 	if err != nil || meta.Tags["dirty"] != "1" {
 		return false
 	}
@@ -362,7 +430,14 @@ func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
 	if version == 0 {
 		// Relaxed-mode object: no shadow was created; plain put.
 		rc.rsds.Put(node, key, blob, nil, false)
-	} else if rc.rsds.PersistPayload(node, key, blob, version) != nil {
+	} else if perr := rc.rsds.PersistPayload(node, key, blob, version); perr != nil {
+		if perr == objstore.ErrStale {
+			// An equal or newer version is already persisted; the
+			// cached copy is effectively clean and must not overwrite
+			// the store.
+			rc.kv.SetTag(node, key, "dirty", "0")
+			rc.resolvePending(key)
+		}
 		return false
 	}
 	rc.statsMu.Lock()
@@ -393,10 +468,21 @@ type CacheStats struct {
 	Admissions, WriteBacks  int64
 	BypassWrites            int64
 	EphemeralBytes          int64
+	// Degradation counters: RSDS fallbacks taken because the cache
+	// was unavailable, cache-op retries/timeouts, and circuit-breaker
+	// trips.
+	FallbackReads  int64
+	FallbackWrites int64
+	CacheRetries   int64
+	CacheTimeouts  int64
+	BreakerTrips   int64
 }
 
 // Stats returns a snapshot of the proxy counters.
 func (rc *RCLib) Stats() CacheStats {
+	rc.brk.mu.Lock()
+	trips := rc.brk.trips
+	rc.brk.mu.Unlock()
 	rc.statsMu.Lock()
 	defer rc.statsMu.Unlock()
 	return CacheStats{
@@ -404,6 +490,9 @@ func (rc *RCLib) Stats() CacheStats {
 		EphemHits: rc.ephemHits, EphemMisses: rc.ephemMisses,
 		Admissions: rc.admissions, WriteBacks: rc.writeBacks,
 		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
+		FallbackReads: rc.fallbackReads, FallbackWrites: rc.fallbackWrites,
+		CacheRetries: rc.cacheRetries, CacheTimeouts: rc.cacheTimeouts,
+		BreakerTrips: trips,
 	}
 }
 

@@ -192,6 +192,7 @@ var (
 	ErrOOM          = errors.New("faas: invocation killed by OOM")
 	ErrNoCapacity   = errors.New("faas: no invoker has capacity")
 	ErrUnregistered = errors.New("faas: function not registered")
+	ErrInvokerDown  = errors.New("faas: invoker node went down")
 )
 
 // Config carries the platform's timing constants, calibrated to the
@@ -281,6 +282,10 @@ type Stats struct {
 	Rescues     int64
 	Swaps       int64
 	Failures    int64
+	// Reroutes counts invocations replayed on another worker after
+	// their invoker died mid-run (the controller resubmits, as OWK
+	// does for lost activations).
+	Reroutes int64
 }
 
 // lockedStats pairs the counters with their lock.
@@ -354,6 +359,18 @@ func (p *Platform) Invokers() []*Invoker {
 	out := make([]*Invoker, len(p.invokers))
 	copy(out, p.invokers)
 	return out
+}
+
+// InvokerOn returns the worker running on node, or nil.
+func (p *Platform) InvokerOn(node simnet.NodeID) *Invoker {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, inv := range p.invokers {
+		if inv.node.ID == node {
+			return inv
+		}
+	}
+	return nil
 }
 
 // homeIndex is OWK's hash-based home invoker for a function.

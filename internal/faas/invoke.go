@@ -57,6 +57,15 @@ func (p *Platform) Invoke(req *Request) *Result {
 		req.advised = false
 		attempt = p.execute(req, fn.MemoryBooked, res)
 	}
+	// A worker dying mid-run loses the activation; the controller
+	// resubmits on a surviving node, bounded so a collapsing cluster
+	// still terminates.
+	for rr := 0; attempt == ErrInvokerDown && rr < 3; rr++ {
+		p.stats.mu.Lock()
+		p.stats.Reroutes++
+		p.stats.mu.Unlock()
+		attempt = p.execute(req, wanted, res)
+	}
 	res.Err = attempt
 	if attempt != nil {
 		p.stats.mu.Lock()
@@ -132,6 +141,11 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 		inv.destroySandbox(sb)
 		return ErrOOM
 	}
+	if inv.Down() {
+		// The node died under the invocation: its sandbox and any
+		// result are gone; the caller reroutes.
+		return ErrInvokerDown
+	}
 	inv.parkSandbox(sb)
 
 	// Pipeline bookkeeping: discard intermediates when the final stage
@@ -150,6 +164,13 @@ func (p *Platform) acquire(req *Request, wanted int64) (*Invoker, *Sandbox, bool
 	const maxTries = 200
 	for try := 0; ; try++ {
 		invokers := p.Invokers()
+		live := invokers[:0]
+		for _, inv := range invokers {
+			if !inv.Down() {
+				live = append(live, inv)
+			}
+		}
+		invokers = live
 		if len(invokers) == 0 {
 			return nil, nil, false, 0, ErrNoCapacity
 		}
@@ -175,7 +196,14 @@ func (p *Platform) acquire(req *Request, wanted int64) (*Invoker, *Sandbox, bool
 		}
 
 		// Controller -> invoker hop.
-		p.net.Transfer(p.ctrl, target.node.ID, 512)
+		if err := p.net.TryTransfer(p.ctrl, target.node.ID, 512); err != nil {
+			// The worker died between routing and dispatch; pick
+			// another one.
+			if try >= maxTries {
+				return nil, nil, false, 0, ErrNoCapacity
+			}
+			continue
+		}
 		p.env.Sleep(p.cfg.InvokerOverhead)
 
 		if sb := target.idleSandbox(req.Function, wanted); sb != nil && target.claim(sb) {

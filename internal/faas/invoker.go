@@ -41,6 +41,7 @@ type Invoker struct {
 	storage Storage
 
 	mu         sync.Mutex
+	down       bool // node fail-stopped; no placements until restart
 	sandboxes  map[*Sandbox]struct{}
 	reserved   int64 // Σ sandbox memory limits
 	cacheGrant int64 // bytes currently granted to the co-located cache
@@ -61,6 +62,31 @@ func newInvoker(p *Platform, node simnet.NodeID, capacity int64, storage Storage
 
 // Node returns the worker's node id.
 func (inv *Invoker) Node() simnet.NodeID { return inv.node.ID }
+
+// Down reports whether the worker's node is fail-stopped.
+func (inv *Invoker) Down() bool {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.down
+}
+
+// SetDown fail-stops or revives the worker. Going down kills every
+// sandbox (the containers die with the machine) and zeroes both the
+// sandbox reservations and the cache grant; the node comes back empty.
+func (inv *Invoker) SetDown(down bool) {
+	inv.mu.Lock()
+	inv.down = down
+	if down {
+		for sb := range inv.sandboxes {
+			sb.state = sandboxDead
+			delete(inv.sandboxes, sb)
+			inv.expired++
+		}
+		inv.reserved = 0
+		inv.cacheGrant = 0
+	}
+	inv.mu.Unlock()
+}
 
 // Capacity returns the node's total sandbox-usable memory.
 func (inv *Invoker) Capacity() int64 { return inv.capacity }

@@ -85,25 +85,40 @@ type Config struct {
 	// SegmentSize is the log-structured memory segment capacity
 	// (RAMCloud's 8 MB, doubled to fit the 10 MB object extension).
 	SegmentSize int64
+	// CrashDetectTimeout is how long the coordinator takes to declare
+	// a silent server dead (RPC timeout plus retries) before starting
+	// recovery; charged at the head of Recover.
+	CrashDetectTimeout time.Duration
 }
 
 // DefaultConfig returns constants calibrated to the paper's testbed.
 func DefaultConfig() Config {
 	return Config{
-		Replication:       2,
-		MaxObjectSize:     10 << 20,
-		ControlMsgSize:    256,
-		ServeOverhead:     3 * time.Microsecond,
-		CrossNodeOverhead: 800 * time.Microsecond,
-		MemBandwidth:      10e9,
-		PromotionBase:     30 * time.Microsecond,
-		PromotionPerMB:    10500 * time.Nanosecond,
-		SegmentSize:       16 << 20,
+		Replication:        2,
+		MaxObjectSize:      10 << 20,
+		ControlMsgSize:     256,
+		ServeOverhead:      3 * time.Microsecond,
+		CrossNodeOverhead:  800 * time.Microsecond,
+		MemBandwidth:       10e9,
+		PromotionBase:      30 * time.Microsecond,
+		PromotionPerMB:     10500 * time.Nanosecond,
+		SegmentSize:        16 << 20,
+		CrashDetectTimeout: 150 * time.Millisecond,
 	}
 }
 
 // object is a master copy.
 type object struct {
+	blob Blob
+	meta Meta
+}
+
+// replica is a backup copy: the payload plus the metadata needed to
+// rebuild a master from it. Carrying version and tags (notably the
+// write-back dirty flag) with every replica is what lets crash
+// recovery promote a backup without losing an acknowledged write's
+// identity.
+type replica struct {
 	blob Blob
 	meta Meta
 }
@@ -114,10 +129,10 @@ type Server struct {
 
 	mu      sync.Mutex
 	crashed bool
-	limit   int64           // master memory budget in bytes
-	log     *objLog         // log-structured master storage
-	backups map[string]Blob // backup copies still in the RAM buffer
-	disk    map[string]Blob // backup copies flushed to disk
+	limit   int64              // master memory budget in bytes
+	log     *objLog            // log-structured master storage
+	backups map[string]replica // backup copies still in the RAM buffer
+	disk    map[string]replica // backup copies flushed to disk
 
 	// stats
 	reads, writes, evictions int64
@@ -165,10 +180,13 @@ type Cluster struct {
 	nextVer uint64
 	rr      int // round-robin cursor for placement
 
-	statsMu    sync.Mutex
-	promotions int64
-	fullMoves  int64
-	recovered  int64
+	statsMu      sync.Mutex
+	promotions   int64
+	fullMoves    int64
+	recovered    int64
+	recoveries   int64
+	recoveryTime time.Duration
+	lastRecovery time.Duration
 }
 
 // New creates a cluster whose coordinator runs on coordNode.
@@ -201,8 +219,8 @@ func (c *Cluster) AddServer(node simnet.NodeID, memLimit int64) *Server {
 		node:    c.net.Node(node),
 		limit:   memLimit,
 		log:     newObjLog(c.cfg.SegmentSize),
-		backups: make(map[string]Blob),
-		disk:    make(map[string]Blob),
+		backups: make(map[string]replica),
+		disk:    make(map[string]replica),
 	}
 	c.mu.Lock()
 	c.servers[node] = s
@@ -304,19 +322,22 @@ func (c *Cluster) place(key string, size int64, preferred simnet.NodeID) (placem
 }
 
 // lookup fetches the placement of key, charging a coordinator RPC from
-// caller.
-func (c *Cluster) lookup(caller simnet.NodeID, key string) (placement, bool) {
+// caller. The error is non-nil when the coordinator is unreachable.
+func (c *Cluster) lookup(caller simnet.NodeID, key string) (placement, bool, error) {
 	type res struct {
 		p  placement
 		ok bool
 	}
-	r := simnet.Call(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
+	r, err := simnet.TryCall(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
 		c.mu.Lock()
 		defer c.mu.Unlock()
 		p, ok := c.places[key]
 		return res{p, ok}
 	})
-	return r.p, r.ok
+	if err != nil {
+		return placement{}, false, err
+	}
+	return r.p, r.ok, nil
 }
 
 // MasterOf returns the node currently mastering key, without charging
@@ -362,11 +383,30 @@ func (c *Cluster) SetMemoryLimit(node simnet.NodeID, limit int64) error {
 	return nil
 }
 
+// ClusterStats is a snapshot of the cluster-wide counters.
+type ClusterStats struct {
+	Promotions int64 // optimized migrations performed
+	FullMoves  int64 // baseline payload-copy migrations
+	Recovered  int64 // objects re-mastered by crash recovery
+	Recoveries int64 // crash recoveries completed
+	// RecoveryTime is the cumulative virtual time spent replaying
+	// backups after crashes; LastRecovery is the most recent run.
+	RecoveryTime time.Duration
+	LastRecovery time.Duration
+}
+
 // Stats reports cluster-wide counters.
-func (c *Cluster) Stats() (promotions, fullMoves, recovered int64) {
+func (c *Cluster) Stats() ClusterStats {
 	c.statsMu.Lock()
 	defer c.statsMu.Unlock()
-	return c.promotions, c.fullMoves, c.recovered
+	return ClusterStats{
+		Promotions:   c.promotions,
+		FullMoves:    c.fullMoves,
+		Recovered:    c.recovered,
+		Recoveries:   c.recoveries,
+		RecoveryTime: c.recoveryTime,
+		LastRecovery: c.lastRecovery,
+	}
 }
 
 // TotalUsed sums master-copy bytes across live servers.

@@ -1,12 +1,14 @@
 package kvstore
 
 import (
+	"math/rand"
 	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"ofc/internal/chaos"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
 )
@@ -100,6 +102,90 @@ func TestPropertyLinearizableRegister(t *testing.T) {
 		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The same register property under a seeded random crash/restart
+// schedule: acknowledged operations must stay linearizable even while
+// nodes fail and recover. Operations that error (the register's master
+// was down) simply don't enter the history — they were never
+// acknowledged.
+func TestPropertyLinearizableUnderCrashes(t *testing.T) {
+	f := func(seed int64, nOps8 uint8) bool {
+		nClients := 4
+		nOps := int(nOps8%6) + 4
+		env := sim.NewEnv(seed)
+		c, net := testCluster(env)
+
+		// Random but seed-determined schedule: 2–3 crash/restart pairs
+		// across the run, any node fair game.
+		srng := rand.New(rand.NewSource(seed))
+		sched := chaos.NewSchedule()
+		nFaults := srng.Intn(2) + 2
+		for i := 0; i < nFaults; i++ {
+			victim := simnet.NodeID(srng.Intn(4))
+			at := time.Duration(srng.Intn(8000)+500) * time.Microsecond
+			down := time.Duration(srng.Intn(2000)+500) * time.Microsecond
+			sched.CrashAt(at, victim).RestartAt(at+down, victim)
+		}
+		inj := chaos.NewInjector(net, sched, seed)
+		inj.OnCrash = func(n simnet.NodeID) {
+			c.Crash(n)
+			env.Go(func() { c.RecoverNode(n) })
+		}
+		inj.OnRestart = func(n simnet.NodeID) { c.Restart(n) }
+		inj.Start()
+
+		var mu sync.Mutex
+		var history []regOp
+		env.Go(func() {
+			if _, err := c.Write(0, "reg", Synthetic(64), nil, 1); err != nil {
+				t.Fatal(err)
+			}
+			for cl := 0; cl < nClients; cl++ {
+				node := simnet.NodeID(cl % 4)
+				rng := env.NewRand()
+				env.Go(func() {
+					for i := 0; i < nOps; i++ {
+						env.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+						start := env.Now()
+						if rng.Intn(2) == 0 {
+							ver, err := c.Write(node, "reg", Synthetic(64), nil, 1)
+							if err != nil {
+								continue
+							}
+							mu.Lock()
+							history = append(history, regOp{start: start, end: env.Now(), version: ver, isWrite: true})
+							mu.Unlock()
+						} else {
+							_, meta, err := c.Read(node, "reg")
+							if err != nil {
+								continue
+							}
+							mu.Lock()
+							history = append(history, regOp{start: start, end: env.Now(), version: meta.Version})
+							mu.Unlock()
+						}
+					}
+				})
+			}
+		})
+		env.Run()
+
+		// Real-time order implies version order, crashes or not.
+		sort.Slice(history, func(i, j int) bool { return history[i].end < history[j].end })
+		for i, a := range history {
+			for _, b := range history[i+1:] {
+				if a.end < b.start && b.version < a.version {
+					t.Logf("seed=%d: op ending %v saw v%d, later op saw v%d", seed, a.end, a.version, b.version)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
 	}
 }

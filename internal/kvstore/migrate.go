@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"sort"
 	"time"
 
 	"ofc/internal/simnet"
@@ -92,18 +93,26 @@ func (c *Cluster) promote(key string, dest simnet.NodeID, demoteOld bool) error 
 		ms.mu.Unlock()
 	}
 	ds.mu.Lock()
-	blob, buffered := ds.backups[key]
+	rep, buffered := ds.backups[key]
 	var onDisk bool
 	if !buffered {
-		blob, onDisk = ds.disk[key]
+		rep, onDisk = ds.disk[key]
 	}
 	ds.mu.Unlock()
 	if !buffered && !onDisk {
 		return ErrNotFound
 	}
+	blob := rep.blob
 	if obj == nil {
-		// Old master lost the in-memory copy (crash): synthesize meta.
-		obj = &object{blob: blob, meta: Meta{Size: blob.Size}}
+		// Old master lost the in-memory copy (crash): rebuild from the
+		// replica's own metadata, which carries version and tags —
+		// including the write-back dirty flag — so no acknowledged
+		// write loses its identity.
+		m := rep.meta
+		if m.Size == 0 {
+			m.Size = blob.Size
+		}
+		obj = &object{blob: blob, meta: m}
 	}
 
 	// Control RPC old->coordinator->dest, then local rebuild at dest.
@@ -129,7 +138,7 @@ func (c *Cluster) promote(key string, dest simnet.NodeID, demoteOld bool) error 
 		ms.mu.Lock()
 		ms.log.delete(key)
 		if demoteOld {
-			ms.backups[key] = blob
+			ms.backups[key] = replica{blob: blob, meta: obj.meta}
 		}
 		ms.mu.Unlock()
 		if demoteOld {
@@ -214,6 +223,15 @@ func (c *Cluster) MigrateFull(key string, dest simnet.NodeID) error {
 	return nil
 }
 
+// SetCrashDetectTimeout adjusts how long the coordinator takes to
+// declare a silent server dead (charged at the head of Recover).
+// Chaos experiments widen it to model realistic detection windows.
+func (c *Cluster) SetCrashDetectTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.cfg.CrashDetectTimeout = d
+	c.mu.Unlock()
+}
+
 // Crash fail-stops the server on node. Masters held there become
 // unavailable until RecoverNode promotes their backups.
 func (c *Cluster) Crash(node simnet.NodeID) {
@@ -237,15 +255,39 @@ func (c *Cluster) Restart(node simnet.NodeID) {
 	s.mu.Lock()
 	s.crashed = false
 	s.log = newObjLog(c.cfg.SegmentSize)
-	s.backups = make(map[string]Blob)
+	s.backups = make(map[string]replica)
 	s.mu.Unlock()
 }
 
 // RecoverNode re-masters every object whose master copy was lost on
 // the crashed node, RAMCloud-style: each object is rebuilt on a node
 // holding a (disk/buffer) replica. Returns the number of objects
-// recovered.
+// recovered. Detection time is not charged — callers that model the
+// coordinator noticing the crash use Recover.
 func (c *Cluster) RecoverNode(crashed simnet.NodeID) int {
+	n, _ := c.recoverCrashed(crashed, false)
+	return n
+}
+
+// Recover is the full coordinator-driven recovery of a crashed node:
+// it first charges the crash-detection timeout (the coordinator's RPC
+// deadline expiring), then replays backups. It returns the number of
+// objects re-mastered and the replay duration (detection excluded),
+// both also surfaced through Stats.
+func (c *Cluster) Recover(crashed simnet.NodeID) (int, time.Duration) {
+	return c.recoverCrashed(crashed, true)
+}
+
+// recoverCrashed is the shared recovery path. Objects are replayed in
+// sorted key order so identical runs recover identically; real
+// RAMCloud parallelizes replay across recovery masters, which would
+// shorten the window but make the virtual timeline depend on goroutine
+// interleaving.
+func (c *Cluster) recoverCrashed(crashed simnet.NodeID, withDetect bool) (int, time.Duration) {
+	if withDetect && c.cfg.CrashDetectTimeout > 0 {
+		c.env().Sleep(c.cfg.CrashDetectTimeout)
+	}
+	start := c.env().Now()
 	c.mu.Lock()
 	var victims []string
 	for k, p := range c.places {
@@ -254,6 +296,7 @@ func (c *Cluster) RecoverNode(crashed simnet.NodeID) int {
 		}
 	}
 	c.mu.Unlock()
+	sort.Strings(victims)
 	n := 0
 	for _, key := range victims {
 		c.mu.Lock()
@@ -282,8 +325,12 @@ func (c *Cluster) RecoverNode(crashed simnet.NodeID) int {
 			n++
 		}
 	}
+	dur := c.env().Now() - start
 	c.statsMu.Lock()
 	c.recovered += int64(n)
+	c.recoveries++
+	c.recoveryTime += dur
+	c.lastRecovery = dur
 	c.statsMu.Unlock()
-	return n
+	return n, dur
 }

@@ -14,7 +14,10 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	if blob.Size > c.cfg.MaxObjectSize {
 		return 0, ErrTooLarge
 	}
-	p, ok := c.lookup(caller, key)
+	p, ok, lerr := c.lookup(caller, key)
+	if lerr != nil {
+		return 0, lerr
+	}
 	if !ok {
 		var err error
 		p, err = c.place(key, blob.Size, preferred)
@@ -28,7 +31,14 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	}
 
 	// Ship the payload to the master.
-	c.net.Transfer(caller, p.master, blob.Size+c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(caller, p.master, blob.Size+c.cfg.ControlMsgSize); err != nil {
+		if !ok {
+			c.mu.Lock()
+			delete(c.places, key)
+			c.mu.Unlock()
+		}
+		return 0, err
+	}
 
 	env := c.env()
 	var version uint64
@@ -67,10 +77,11 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	} else {
 		created = now
 	}
-	master.log.put(key, &object{blob: blob, meta: Meta{
+	meta := Meta{
 		Version: version, Size: blob.Size, Created: created,
 		NAccess: naccess, LastAccess: now, Tags: cloneTags(tags),
-	}})
+	}
+	master.log.put(key, &object{blob: blob, meta: meta})
 	// Log-structured memory: if dead entries push the allocated bytes
 	// past the budget, the cleaner compacts before the write returns
 	// (write-path backpressure, as in RAMCloud).
@@ -97,7 +108,10 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 				errs[i] = ErrNoSuchServer
 				return
 			}
-			c.net.Transfer(p.master, b, blob.Size+c.cfg.ControlMsgSize)
+			if err := c.net.TryTransfer(p.master, b, blob.Size+c.cfg.ControlMsgSize); err != nil {
+				errs[i] = err
+				return
+			}
 			env.Sleep(c.memCopyTime(blob.Size)) // buffer in backup RAM
 			bs.mu.Lock()
 			if bs.crashed {
@@ -105,7 +119,7 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 				bs.mu.Unlock()
 				return
 			}
-			bs.backups[key] = blob
+			bs.backups[key] = replica{blob: blob, meta: meta}
 			bs.mu.Unlock()
 			// Asynchronous disk flush, off the commit path. The buffer
 			// copy is retained after the flush (RAMCloud backups keep
@@ -115,12 +129,12 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 			env.Go(func() {
 				bs.node.DiskWrite(blob.Size)
 				bs.mu.Lock()
-				if cur, ok := bs.backups[key]; ok && cur.Size == blob.Size {
+				if cur, ok := bs.backups[key]; ok && cur.meta.Version == meta.Version {
 					bs.disk[key] = cur
 				}
 				bs.mu.Unlock()
 			})
-			c.net.Transfer(b, p.master, c.cfg.ControlMsgSize)
+			errs[i] = c.net.TryTransfer(b, p.master, c.cfg.ControlMsgSize)
 		})
 	}
 	wg.Wait()
@@ -130,7 +144,9 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 		}
 	}
 	// Ack to the caller.
-	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(p.master, caller, c.cfg.ControlMsgSize); err != nil && werr == nil {
+		werr = err
+	}
 	if werr != nil {
 		return 0, werr
 	}
@@ -151,7 +167,10 @@ func cloneTags(tags map[string]string) map[string]string {
 // Read fetches key's payload from its master, updating the OFC access
 // statistics.
 func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
-	p, ok := c.lookup(caller, key)
+	p, ok, lerr := c.lookup(caller, key)
+	if lerr != nil {
+		return Blob{}, Meta{}, lerr
+	}
 	if !ok {
 		return Blob{}, Meta{}, ErrNotFound
 	}
@@ -161,7 +180,9 @@ func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
 	}
 	env := c.env()
 	// Request to master.
-	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
+		return Blob{}, Meta{}, err
+	}
 	env.Sleep(c.cfg.ServeOverhead)
 	if caller != p.master {
 		env.Sleep(c.cfg.CrossNodeOverhead)
@@ -182,13 +203,18 @@ func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
 	s.reads++
 	s.mu.Unlock()
 	// Payload back to the caller.
-	c.net.Transfer(p.master, caller, blob.Size+c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(p.master, caller, blob.Size+c.cfg.ControlMsgSize); err != nil {
+		return Blob{}, Meta{}, err
+	}
 	return blob, meta, nil
 }
 
 // Stat returns the metadata of key without moving the payload.
 func (c *Cluster) Stat(caller simnet.NodeID, key string) (Meta, error) {
-	p, ok := c.lookup(caller, key)
+	p, ok, lerr := c.lookup(caller, key)
+	if lerr != nil {
+		return Meta{}, lerr
+	}
 	if !ok {
 		return Meta{}, ErrNotFound
 	}
@@ -196,7 +222,9 @@ func (c *Cluster) Stat(caller simnet.NodeID, key string) (Meta, error) {
 	if s == nil {
 		return Meta{}, ErrNoSuchServer
 	}
-	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
+		return Meta{}, err
+	}
 	c.env().Sleep(c.cfg.ServeOverhead)
 	s.mu.Lock()
 	o, found := s.log.get(key)
@@ -206,13 +234,18 @@ func (c *Cluster) Stat(caller simnet.NodeID, key string) (Meta, error) {
 	}
 	meta := o.meta
 	s.mu.Unlock()
-	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(p.master, caller, c.cfg.ControlMsgSize); err != nil {
+		return Meta{}, err
+	}
 	return meta, nil
 }
 
 // SetTag updates one metadata tag on the master copy.
 func (c *Cluster) SetTag(caller simnet.NodeID, key, tag, value string) error {
-	p, ok := c.lookup(caller, key)
+	p, ok, lerr := c.lookup(caller, key)
+	if lerr != nil {
+		return lerr
+	}
 	if !ok {
 		return ErrNotFound
 	}
@@ -220,7 +253,9 @@ func (c *Cluster) SetTag(caller simnet.NodeID, key, tag, value string) error {
 	if s == nil {
 		return ErrNoSuchServer
 	}
-	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	o, found := s.log.get(key)
 	if !found || s.crashed {
@@ -231,23 +266,56 @@ func (c *Cluster) SetTag(caller simnet.NodeID, key, tag, value string) error {
 		o.meta.Tags = make(map[string]string)
 	}
 	o.meta.Tags[tag] = value
+	ver := o.meta.Version
 	s.mu.Unlock()
-	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	// Propagate the tag to backup replicas of the same version so a
+	// post-recovery master sees current flags (a persisted object must
+	// not come back tagged dirty). The master piggybacks these tiny
+	// updates on its replication stream; we fold the cost into the ack.
+	for _, b := range p.backups {
+		bs := c.Server(b)
+		if bs == nil {
+			continue
+		}
+		bs.mu.Lock()
+		for _, m := range []map[string]replica{bs.backups, bs.disk} {
+			if rep, ok := m[key]; ok && rep.meta.Version == ver {
+				if rep.meta.Tags == nil {
+					rep.meta.Tags = make(map[string]string)
+				} else {
+					rep.meta.Tags = cloneTags(rep.meta.Tags)
+				}
+				rep.meta.Tags[tag] = value
+				m[key] = rep
+			}
+		}
+		bs.mu.Unlock()
+	}
+	if err := c.net.TryTransfer(p.master, caller, c.cfg.ControlMsgSize); err != nil {
+		return err
+	}
 	return nil
 }
 
 // Delete removes key from the store (master and backups).
 func (c *Cluster) Delete(caller simnet.NodeID, key string) error {
-	p, ok := c.lookup(caller, key)
+	p, ok, lerr := c.lookup(caller, key)
+	if lerr != nil {
+		return lerr
+	}
 	if !ok {
 		return ErrNotFound
 	}
-	c.net.Transfer(caller, p.master, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
+		return err
+	}
 	c.dropLocal(p, key)
 	c.mu.Lock()
 	delete(c.places, key)
 	c.mu.Unlock()
-	c.net.Transfer(p.master, caller, c.cfg.ControlMsgSize)
+	if err := c.net.TryTransfer(p.master, caller, c.cfg.ControlMsgSize); err != nil {
+		return err
+	}
 	return nil
 }
 

@@ -1,0 +1,239 @@
+package simnet
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrUnreachable is returned by the fallible transfer path when the
+// destination (or the link to it) is down. The sender pays the failure
+// detection delay before seeing it, as a real RPC layer pays a timeout.
+var ErrUnreachable = errors.New("simnet: destination unreachable")
+
+// linkKey identifies an undirected link; a <= b always.
+type linkKey struct{ a, b NodeID }
+
+func mkLink(a, b NodeID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// linkState is the fault status of one link. Zero factors mean
+// "healthy" (factor 1, no loss).
+type linkState struct {
+	partitioned bool
+	latFactor   float64 // propagation latency multiplier
+	bwFactor    float64 // bandwidth multiplier (0 < f <= 1 degrades)
+	lossProb    float64 // per-transfer packet-loss probability
+}
+
+// faults holds the mutable failure state of the fabric. It lives on
+// its own lock so the hot transfer path stays cheap when no fault is
+// active.
+type faults struct {
+	mu       sync.Mutex
+	any      bool // fast-path hint: at least one fault ever injected
+	nodeDown map[NodeID]bool
+	links    map[linkKey]*linkState
+	diskSlow map[NodeID]float64
+	rng      *rand.Rand
+}
+
+func (n *Network) faultState() *faults {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.flt == nil {
+		n.flt = &faults{
+			nodeDown: make(map[NodeID]bool),
+			links:    make(map[linkKey]*linkState),
+			diskSlow: make(map[NodeID]float64),
+			rng:      rand.New(rand.NewSource(0)),
+		}
+	}
+	return n.flt
+}
+
+// SeedFaults seeds the generator behind probabilistic faults (packet
+// loss). Chaos schedules call it so loss draws are reproducible.
+func (n *Network) SeedFaults(seed int64) {
+	f := n.faultState()
+	f.mu.Lock()
+	f.rng = rand.New(rand.NewSource(seed))
+	f.mu.Unlock()
+}
+
+// SetNodeDown fail-stops (or revives) a machine: transfers from or to
+// it fail with ErrUnreachable.
+func (n *Network) SetNodeDown(id NodeID, down bool) {
+	f := n.faultState()
+	f.mu.Lock()
+	f.nodeDown[id] = down
+	f.any = true
+	f.mu.Unlock()
+}
+
+// NodeDown reports whether the machine is fail-stopped.
+func (n *Network) NodeDown(id NodeID) bool {
+	f := n.faultState()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodeDown[id]
+}
+
+func (f *faults) link(a, b NodeID) *linkState {
+	k := mkLink(a, b)
+	l := f.links[k]
+	if l == nil {
+		l = &linkState{}
+		f.links[k] = l
+	}
+	return l
+}
+
+// Partition cuts the link between a and b (both directions).
+func (n *Network) Partition(a, b NodeID) {
+	f := n.faultState()
+	f.mu.Lock()
+	f.link(a, b).partitioned = true
+	f.any = true
+	f.mu.Unlock()
+}
+
+// Heal restores the link between a and b (partition only; degradation
+// set via DegradeLink is cleared with ResetLink).
+func (n *Network) Heal(a, b NodeID) {
+	f := n.faultState()
+	f.mu.Lock()
+	f.link(a, b).partitioned = false
+	f.mu.Unlock()
+}
+
+// DegradeLink multiplies the link's propagation latency by latFactor
+// and its usable bandwidth by bwFactor (0 < bwFactor <= 1). Factors
+// <= 0 are treated as 1 (no change).
+func (n *Network) DegradeLink(a, b NodeID, latFactor, bwFactor float64) {
+	f := n.faultState()
+	f.mu.Lock()
+	l := f.link(a, b)
+	l.latFactor = latFactor
+	l.bwFactor = bwFactor
+	f.any = true
+	f.mu.Unlock()
+}
+
+// SetPacketLoss sets the per-transfer loss probability on the link;
+// each lost packet costs one retransmission round trip plus the resend
+// serialization.
+func (n *Network) SetPacketLoss(a, b NodeID, p float64) {
+	f := n.faultState()
+	f.mu.Lock()
+	f.link(a, b).lossProb = p
+	f.any = true
+	f.mu.Unlock()
+}
+
+// ResetLink clears every fault (partition, degradation, loss) on the
+// link.
+func (n *Network) ResetLink(a, b NodeID) {
+	f := n.faultState()
+	f.mu.Lock()
+	delete(f.links, mkLink(a, b))
+	f.mu.Unlock()
+}
+
+// SetDiskFactor multiplies node's disk operation time by factor
+// (factor <= 0 or == 1 restores full speed).
+func (n *Network) SetDiskFactor(id NodeID, factor float64) {
+	f := n.faultState()
+	f.mu.Lock()
+	if factor <= 0 || factor == 1 {
+		delete(f.diskSlow, id)
+	} else {
+		f.diskSlow[id] = factor
+		f.any = true
+	}
+	f.mu.Unlock()
+}
+
+// diskFactor returns node's current disk slowdown (>= 1).
+func (n *Network) diskFactor(id NodeID) float64 {
+	n.mu.Lock()
+	f := n.flt
+	n.mu.Unlock()
+	if f == nil {
+		return 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if v, ok := f.diskSlow[id]; ok && v > 1 {
+		return v
+	}
+	return 1
+}
+
+// linkFaults is the snapshot the transfer path consults: reachable,
+// latency/bandwidth multipliers and the number of retransmissions this
+// transfer suffers (drawn once, deterministically given the fault RNG
+// stream).
+type linkFaults struct {
+	reachable  bool
+	latFactor  float64
+	bwFactor   float64
+	retransmit int
+}
+
+// lookFaults inspects the fault state for a transfer from -> to.
+func (n *Network) lookFaults(from, to NodeID) linkFaults {
+	out := linkFaults{reachable: true, latFactor: 1, bwFactor: 1}
+	n.mu.Lock()
+	f := n.flt
+	n.mu.Unlock()
+	if f == nil {
+		return out
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.any {
+		return out
+	}
+	if f.nodeDown[from] || f.nodeDown[to] {
+		out.reachable = false
+		return out
+	}
+	l := f.links[mkLink(from, to)]
+	if l == nil {
+		return out
+	}
+	if l.partitioned {
+		out.reachable = false
+		return out
+	}
+	if l.latFactor > 0 {
+		out.latFactor = l.latFactor
+	}
+	if l.bwFactor > 0 && l.bwFactor < 1 {
+		out.bwFactor = l.bwFactor
+	}
+	if l.lossProb > 0 {
+		// Geometric retransmission count, capped so a lossy link slows
+		// transfers down rather than wedging them.
+		for out.retransmit < 3 && f.rng.Float64() < l.lossProb {
+			out.retransmit++
+		}
+	}
+	return out
+}
+
+// failureDetectDelay is the time a sender spends discovering that the
+// destination is gone (connection timeout / RPC deadline at the
+// transport).
+func (n *Network) failureDetectDelay() time.Duration {
+	if n.cfg.FailureDetectDelay > 0 {
+		return n.cfg.FailureDetectDelay
+	}
+	return 10 * n.cfg.LinkLatency
+}

@@ -38,6 +38,10 @@ type Config struct {
 	// DiskReadBandwidth and DiskWriteBandwidth are in bytes per second.
 	DiskReadBandwidth  float64
 	DiskWriteBandwidth float64
+	// FailureDetectDelay is the time a sender spends before concluding
+	// a peer is unreachable (transport timeout). Zero means ten link
+	// latencies.
+	FailureDetectDelay time.Duration
 }
 
 // DefaultConfig models the paper's testbed: 10 GbE and a SATA SSD.
@@ -50,6 +54,7 @@ func DefaultConfig() Config {
 		DiskWriteLatency:   50 * time.Microsecond,
 		DiskReadBandwidth:  500e6,
 		DiskWriteBandwidth: 450e6,
+		FailureDetectDelay: 500 * time.Microsecond,
 	}
 }
 
@@ -59,6 +64,7 @@ type Network struct {
 	cfg   Config
 	mu    sync.Mutex
 	nodes []*Node
+	flt   *faults // lazily allocated failure state (see faults.go)
 }
 
 // Node is one machine: a transmit NIC, a receive NIC and a disk, each a
@@ -138,20 +144,57 @@ func (n *Network) txTime(size int64) time.Duration {
 
 // Transfer moves size bytes from one node to another, blocking the
 // calling process for the full transfer duration. Same-node transfers
-// cost only the loopback latency.
+// cost only the loopback latency. Transfer is the legacy infallible
+// path: when a fault makes the destination unreachable it still pays
+// the failure-detection delay but swallows the error; callers that
+// care use TryTransfer.
 func (n *Network) Transfer(from, to NodeID, size int64) {
+	_ = n.TryTransfer(from, to, size)
+}
+
+// TryTransfer moves size bytes from one node to another, blocking the
+// calling process for the full transfer duration. It consults the
+// fault layer: an unreachable destination (node down or link
+// partitioned) costs the failure-detection delay and returns
+// ErrUnreachable; a degraded link stretches latency and serialization;
+// packet loss adds retransmission rounds.
+func (n *Network) TryTransfer(from, to NodeID, size int64) error {
 	if from == to {
+		if n.NodeDown(from) {
+			n.env.Sleep(n.failureDetectDelay())
+			return ErrUnreachable
+		}
 		n.env.Sleep(n.cfg.LoopbackLatency)
-		return
+		return nil
+	}
+	lf := n.lookFaults(from, to)
+	if !lf.reachable {
+		n.env.Sleep(n.failureDetectDelay())
+		return ErrUnreachable
 	}
 	src, dst := n.Node(from), n.Node(to)
 	tx := n.txTime(size)
+	if lf.bwFactor > 0 && lf.bwFactor < 1 {
+		tx = time.Duration(float64(tx) / lf.bwFactor)
+	}
+	lat := time.Duration(float64(n.cfg.LinkLatency) * lf.latFactor)
 
 	src.tx.Acquire(1)
 	n.env.Sleep(tx)
 	src.tx.Release(1)
 
-	n.env.Sleep(n.cfg.LinkLatency)
+	n.env.Sleep(lat)
+
+	// Each lost packet costs a timeout-free retransmission round: the
+	// peer's NACK (or the sender's fast-retransmit) travels back, and
+	// the payload is serialized and propagated again.
+	for i := 0; i < lf.retransmit; i++ {
+		n.env.Sleep(lat) // feedback to sender
+		src.tx.Acquire(1)
+		n.env.Sleep(tx)
+		src.tx.Release(1)
+		n.env.Sleep(lat) // resend propagation
+	}
 
 	dst.rx.Acquire(1)
 	n.env.Sleep(tx)
@@ -163,6 +206,7 @@ func (n *Network) Transfer(from, to NodeID, size int64) {
 	dst.statsMu.Lock()
 	dst.bytesRecv += size
 	dst.statsMu.Unlock()
+	return nil
 }
 
 // Call performs a synchronous RPC: the request payload travels from
@@ -176,12 +220,30 @@ func Call[T any](n *Network, from, to NodeID, reqSize, respSize int64, serve fun
 	return v
 }
 
+// TryCall is the fallible RPC path: if either leg of the round trip
+// fails (destination down or partitioned) it returns ErrUnreachable
+// and serve's result is the zero value; serve is not invoked when the
+// request leg fails.
+func TryCall[T any](n *Network, from, to NodeID, reqSize, respSize int64, serve func() T) (T, error) {
+	var zero T
+	if err := n.TryTransfer(from, to, reqSize); err != nil {
+		return zero, err
+	}
+	v := serve()
+	if err := n.TryTransfer(to, from, respSize); err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
 // DiskRead charges a read of size bytes against the node's disk,
 // blocking the calling process.
 func (nd *Node) DiskRead(size int64) {
 	cfg := nd.net.cfg
+	slow := nd.net.diskFactor(nd.ID)
 	nd.disk.Acquire(1)
-	nd.net.env.Sleep(cfg.DiskReadLatency + time.Duration(float64(size)/cfg.DiskReadBandwidth*float64(time.Second)))
+	base := cfg.DiskReadLatency + time.Duration(float64(size)/cfg.DiskReadBandwidth*float64(time.Second))
+	nd.net.env.Sleep(time.Duration(float64(base) * slow))
 	nd.disk.Release(1)
 	nd.statsMu.Lock()
 	nd.diskRead += size
@@ -192,8 +254,10 @@ func (nd *Node) DiskRead(size int64) {
 // blocking the calling process.
 func (nd *Node) DiskWrite(size int64) {
 	cfg := nd.net.cfg
+	slow := nd.net.diskFactor(nd.ID)
 	nd.disk.Acquire(1)
-	nd.net.env.Sleep(cfg.DiskWriteLatency + time.Duration(float64(size)/cfg.DiskWriteBandwidth*float64(time.Second)))
+	base := cfg.DiskWriteLatency + time.Duration(float64(size)/cfg.DiskWriteBandwidth*float64(time.Second))
+	nd.net.env.Sleep(time.Duration(float64(base) * slow))
 	nd.disk.Release(1)
 	nd.statsMu.Lock()
 	nd.diskWrite += size
