@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet bench repro scorecard clean
+.PHONY: all check build test race test-race vet bench bench-store repro scorecard clean
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/kvstore/... ./internal/core/... ./internal/chaos/...
+	$(GO) test -race ./internal/kvstore/... ./internal/store/... ./internal/core/... ./internal/chaos/...
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,11 @@ vet:
 # One benchmark per table/figure, headline quantities as metrics.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x -run '^$$' ./...
+
+# Storage data-plane evidence: sharded vs single-lock coordinator under
+# parallel clients, and batched vs per-key multi-reads.
+bench-store:
+	$(GO) test -bench 'BenchmarkCoordinator|BenchmarkReadMulti' -benchmem -cpu 8 -run '^$$' ./internal/kvstore/
 
 # Regenerate every table and figure of the paper's evaluation.
 repro:

@@ -185,6 +185,10 @@ func registry() []experiment {
 			tab, _ := experiments.ChunkingExtension(seed)
 			emit(tab)
 		}},
+		{"storeplane", "storage data plane: sharded coordinator + batched multi-object ops", func(seed int64, quick bool) {
+			tab, _ := experiments.StorePlane(seed)
+			emit(tab)
+		}},
 	}
 	sort.SliceStable(exps, func(i, j int) bool { return false }) // keep declaration order
 	return exps

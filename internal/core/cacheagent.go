@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"ofc/internal/faas"
-	"ofc/internal/kvstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/store"
 )
 
 // CacheAgentConfig tunes the per-node agent (§6.3, §6.4).
@@ -80,11 +80,15 @@ type AgentMetrics struct {
 // pressure (outputs first, then LRU inputs with
 // migration-by-promotion), maintains the slack pool, and applies the
 // §6.3 periodic eviction policy.
+//
+// The agent controls the cache purely through its memory view — it
+// needs usage, limits, the object census and the reclamation verbs,
+// nothing else of the engine.
 type CacheAgent struct {
 	env  *sim.Env
 	node simnet.NodeID
 	inv  *faas.Invoker
-	kv   *kvstore.Cluster
+	kv   store.MemoryView
 	rc   *RCLib
 	cfg  CacheAgentConfig
 
@@ -95,8 +99,9 @@ type CacheAgent struct {
 	metrics      AgentMetrics
 }
 
-// NewCacheAgent builds the agent for one node.
-func NewCacheAgent(env *sim.Env, inv *faas.Invoker, kv *kvstore.Cluster, rc *RCLib, cfg CacheAgentConfig) *CacheAgent {
+// NewCacheAgent builds the agent for one node over the engine's
+// memory-control view.
+func NewCacheAgent(env *sim.Env, inv *faas.Invoker, kv store.MemoryView, rc *RCLib, cfg CacheAgentConfig) *CacheAgent {
 	return &CacheAgent{
 		env: env, node: inv.Node(), inv: inv, kv: kv, rc: rc, cfg: cfg,
 		slack: cfg.InitialSlack, lastReserved: inv.Reserved(),
@@ -172,7 +177,7 @@ func (a *CacheAgent) Grow() {
 	case target < cur-hysteresis:
 		// Shrink the grant; free cached data first if usage exceeds
 		// the new target.
-		used, _ := a.kv.Server(a.node).Usage()
+		used, _ := a.kv.Usage(a.node)
 		migrated, evicted := 0, 0
 		if used > target {
 			migrated, evicted = a.freeBytes(used - target)
@@ -216,7 +221,7 @@ func (a *CacheAgent) freeBytes(toFree int64) (migrated, evicted int) {
 	if toFree <= 0 {
 		return
 	}
-	var inputs []kvstore.ObjectInfo
+	var inputs []store.ObjectInfo
 	for _, o := range objs {
 		switch {
 		case o.Meta.Tags["dirty"] == "1":
@@ -304,14 +309,14 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 		a.mu.Unlock()
 		return 0, errReclaim
 	}
-	used, _ := a.kv.Server(a.node).Usage()
+	used, _ := a.kv.Usage(a.node)
 	freeInGrant := grant - used
 
 	migrated, evicted := 0, 0
 	if freeInGrant < need {
 		toFree := need - freeInGrant
 		migrated, evicted = a.freeBytes(toFree)
-		used2, _ := a.kv.Server(a.node).Usage()
+		used2, _ := a.kv.Usage(a.node)
 		if grant-used2 < need {
 			a.mu.Lock()
 			a.metrics.ReclaimFailures++

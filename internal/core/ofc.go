@@ -9,6 +9,7 @@ import (
 	"ofc/internal/objstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/store"
 )
 
 // Options configures a full OFC deployment.
@@ -29,6 +30,11 @@ type Options struct {
 	// DisableCacheAgents leaves cache grants at zero (for tests that
 	// drive grants manually).
 	DisableCacheAgents bool
+	// CacheOff replaces the cache cluster with the direct-RSDS
+	// passthrough engine: the vanilla-platform baseline expressed as a
+	// storage backend rather than scattered if-branches. No cache
+	// servers, no agents, no locality routing.
+	CacheOff bool
 }
 
 // DefaultOptions mirrors the paper's testbed shape.
@@ -52,12 +58,16 @@ type System struct {
 	Env      *sim.Env
 	Net      *simnet.Network
 	Platform *faas.Platform
-	KV       *kvstore.Cluster
-	RSDS     *objstore.Store
-	Pred     *Predictor
-	Trainer  *ModelTrainer
-	RC       *RCLib
-	Gov      *Governor
+	// Backend is the storage engine the proxy runs on (the cluster, or
+	// the passthrough in CacheOff mode). KV is the concrete cluster for
+	// tests that poke engine internals; nil when CacheOff.
+	Backend store.Backend
+	KV      *kvstore.Cluster
+	RSDS    *objstore.Store
+	Pred    *Predictor
+	Trainer *ModelTrainer
+	RC      *RCLib
+	Gov     *Governor
 
 	CtrlNode    simnet.NodeID
 	StorageNode simnet.NodeID
@@ -88,30 +98,42 @@ func NewSystem(opts Options) *System {
 	}
 
 	rsds := objstore.New(net, storage, opts.RSDS)
-	kv := kvstore.New(net, ctrl, opts.KV)
 	platform := faas.New(net, ctrl, opts.FaaS)
 
+	var backend store.Backend
+	var kv *kvstore.Cluster
+	if opts.CacheOff {
+		backend = store.NewPassthrough(rsds)
+	} else {
+		kv = kvstore.New(net, ctrl, opts.KV)
+		backend = kv
+	}
+
 	sys := &System{
-		Env: env, Net: net, Platform: platform, KV: kv, RSDS: rsds,
+		Env: env, Net: net, Platform: platform, Backend: backend, KV: kv, RSDS: rsds,
 		CtrlNode: ctrl, StorageNode: storage, WorkerNodes: workers,
 	}
 	sys.Pred = NewPredictor(opts.Predictor)
 	sys.Trainer = NewModelTrainer(sys.Pred, env)
-	sys.RC = NewRCLib(env, kv, rsds)
+	sys.RC = NewRCLib(env, backend, rsds)
 	sys.Gov = NewGovernor()
 
+	mv, hasMem := store.MemoryViewOf(backend)
 	for _, w := range workers {
-		kv.AddServer(w, 0) // limit follows the cache grant
+		if kv != nil {
+			kv.AddServer(w, 0) // limit follows the cache grant
+		}
 		inv := platform.AddInvoker(w, opts.NodeCapacity, sys.RC)
-		if !opts.DisableCacheAgents {
-			agent := NewCacheAgent(env, inv, kv, sys.RC, opts.Agent)
+		if !opts.DisableCacheAgents && hasMem {
+			agent := NewCacheAgent(env, inv, mv, sys.RC, opts.Agent)
 			sys.Gov.Add(agent)
 			sys.agents = append(sys.agents, agent)
 		}
 	}
 
 	platform.Advisor = sys.Pred
-	platform.Router = NewRouter(kv)
+	pv, _ := store.PlacementViewOf(backend)
+	platform.Router = NewRouter(pv)
 	platform.Observer = sys
 	platform.Governor = sys.Gov
 	platform.MonitorEnabled = true
@@ -215,8 +237,14 @@ func (s *System) PredictionCounts() (good, bad int64) {
 	return s.goodPred, s.badPred
 }
 
-// CacheBytes returns the cache's total master-copy footprint.
-func (s *System) CacheBytes() int64 { return s.KV.TotalUsed() }
+// CacheBytes returns the cache's total master-copy footprint (zero in
+// cache-off mode).
+func (s *System) CacheBytes() int64 {
+	if s.KV == nil {
+		return 0
+	}
+	return s.KV.TotalUsed()
+}
 
 // CacheGrantBytes returns the memory currently hoarded for the cache
 // across all workers — the quantity Figure 10 plots.

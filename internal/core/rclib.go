@@ -7,21 +7,40 @@ import (
 	"time"
 
 	"ofc/internal/faas"
-	"ofc/internal/kvstore"
 	"ofc/internal/objstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/store"
 )
 
 // RCLib is OFC's Proxy + rclib (paper §4, §6.2): the storage layer
 // interposed between function code and the RSDS. Reads are served from
-// the RAMCloud-backed cache when possible; writes of cacheable objects
-// go to the cache with a synchronous shadow placeholder in the RSDS
-// and an asynchronous Persistor function carrying the payload later.
+// the cache backend when possible; writes of cacheable objects go to
+// the cache with a synchronous shadow placeholder in the RSDS and an
+// asynchronous Persistor function carrying the payload later.
+//
+// The proxy programs against store.Backend, never a concrete engine.
+// At construction it assembles its middleware stack over the engine it
+// was given:
+//
+//	Instrumented → Chunked (off by default) → Resilient → engine
+//
+// A Durable engine (the cache-off RSDS passthrough) skips the
+// Resilient layer and the whole shadow/persistor protocol: its writes
+// are durable on ack and its reads are not cache hits.
 type RCLib struct {
 	env  *sim.Env
-	kv   *kvstore.Cluster
 	rsds *objstore.Store
+
+	// base is the raw storage engine; be is the top of the middleware
+	// stack every data-plane op goes through.
+	base    store.Backend
+	be      store.Backend
+	resil   *store.Resilient // nil for durable engines
+	chunked *store.Chunked
+	inst    *store.Instrumented
+	pv      store.PlacementView // nil when the engine has no placement
+	durable bool
 
 	// platform is set after construction (the Persistor is itself a
 	// FaaS function injected into the platform).
@@ -34,20 +53,15 @@ type RCLib struct {
 	pending map[string]*sim.Future[struct{}]
 	// pipelines tracks intermediate object keys per pipeline instance.
 	pipelines map[string][]string
-	// chunking enables the large-object striping extension.
-	chunking bool
-	chunked  map[string]chunkManifest
 	// relaxed holds key prefixes (buckets/accounts) whose tenants
 	// disabled the §6.2 strong-consistency facilities: no shadow
 	// objects, no eager persistors; writes propagate lazily on
-	// eviction, persistence rides on RAMCloud's replication.
+	// eviction, persistence rides on the cache's replication.
 	relaxed []string
 
-	// res and brk implement graceful degradation: timeouts, retries
-	// and per-server circuit breakers around every cache op, with
-	// transparent RSDS fallback when the cache is unavailable.
-	res ResilienceConfig
-	brk *brk
+	// res holds the resilience constants (the Resilient middleware has
+	// its own copy; the proxy keeps one for PersistRetryDelay).
+	res store.ResilienceConfig
 
 	statsMu   sync.Mutex
 	hits      int64
@@ -62,24 +76,37 @@ type RCLib struct {
 	writeBacks   int64
 	bypassWrites int64
 	ephemeral    int64 // bytes of intermediate+final outputs produced
-	// degradation counters
+	// degradation counters (retries/timeouts/trips live in the
+	// Resilient middleware)
 	fallbackReads  int64
 	fallbackWrites int64
-	cacheRetries   int64
-	cacheTimeouts  int64
 }
 
-// NewRCLib builds the proxy over the cache and the RSDS.
-func NewRCLib(env *sim.Env, kv *kvstore.Cluster, rsds *objstore.Store) *RCLib {
+// NewRCLib builds the proxy over a storage engine and the RSDS. Any
+// store.Backend works: *kvstore.Cluster for the paper configuration,
+// store.NewPassthrough(rsds) for cache-off mode.
+func NewRCLib(env *sim.Env, backend store.Backend, rsds *objstore.Store) *RCLib {
 	rc := &RCLib{
 		env:       env,
-		kv:        kv,
 		rsds:      rsds,
+		base:      backend,
 		pending:   make(map[string]*sim.Future[struct{}]),
 		pipelines: make(map[string][]string),
-		res:       DefaultResilienceConfig(),
+		res:       store.DefaultResilienceConfig(),
 	}
-	rc.brk = newBrk(env, rc.res)
+	rc.durable = store.IsDurable(backend)
+	rc.pv, _ = store.PlacementViewOf(backend)
+
+	// Assemble the middleware stack bottom-up.
+	b := backend
+	if !rc.durable {
+		rc.resil = store.NewResilient(env, b, rc.res)
+		b = rc.resil
+	}
+	rc.chunked = store.NewChunked(b, store.DefaultChunkSize)
+	rc.inst = store.NewInstrumented(rc.chunked)
+	rc.be = rc.inst
+
 	// Consistency webhooks for non-FaaS clients (§6.2).
 	rsds.OnRead(func(key string, m objstore.Meta) {
 		if !m.IsShadow() {
@@ -95,9 +122,48 @@ func NewRCLib(env *sim.Env, kv *kvstore.Cluster, rsds *objstore.Store) *RCLib {
 	rsds.OnWrite(func(key string) {
 		// Synchronously invalidate the cached copy before an external
 		// write lands.
-		rc.kv.Evict(key)
+		rc.be.Evict(key)
 	})
 	return rc
+}
+
+// Backend returns the top of the proxy's middleware stack (tests and
+// experiment harnesses).
+func (rc *RCLib) Backend() store.Backend { return rc.be }
+
+// StoreStats reports the raw backend-operation counters from the
+// instrumentation middleware.
+func (rc *RCLib) StoreStats() store.OpStats { return rc.inst.Stats() }
+
+// EnableChunking turns the large-object striping extension on (§6.1
+// future work; off by default to keep the faithful-paper
+// configuration).
+func (rc *RCLib) EnableChunking() { rc.chunked.Enable() }
+
+// SetResilience replaces the proxy's resilience constants. Call before
+// traffic starts; existing breaker state is reset.
+func (rc *RCLib) SetResilience(cfg ResilienceConfig) {
+	rc.mu.Lock()
+	rc.res = cfg
+	rc.mu.Unlock()
+	if rc.resil != nil {
+		rc.resil.SetConfig(cfg)
+	}
+}
+
+// BreakerState exposes one server's breaker for tests and debugging.
+func (rc *RCLib) BreakerState(node simnet.NodeID) (failures int, open bool) {
+	if rc.resil == nil {
+		return 0, false
+	}
+	return rc.resil.BreakerState(node)
+}
+
+// persistRetryDelay reads the current retry delay under the lock.
+func (rc *RCLib) persistRetryDelay() time.Duration {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.res.PersistRetryDelay
 }
 
 // SetRelaxed marks a key prefix (the paper's bucket/object/account
@@ -138,22 +204,20 @@ func (rc *RCLib) AttachPlatform(p *faas.Platform) {
 
 // persistBody is the Persistor function (§6.2): read the payload from
 // the cache, push it to the RSDS for the recorded version, then apply
-// the §6.3 discard policy for final outputs.
+// the §6.3 discard policy for final outputs. Striped objects
+// reassemble transparently inside the chunking middleware.
 func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 	key := ctx.InputKeys()[0]
 	version := uint64(ctx.Arg("version"))
-	if n, ok := chunkArgs(ctx); ok {
-		return rc.persistChunkedBody(ctx, key, version, n)
-	}
 	node := ctx.Node()
-	blob, meta, err := rc.kvRead(node, key)
+	blob, meta, err := rc.be.Read(node, key)
 	if err != nil {
-		if isCacheUnavailable(err) {
+		if store.IsUnavailable(err) {
 			// The cache is temporarily unreachable. The acknowledged
 			// payload survives in backup replicas, so the pending
 			// write-back must NOT be resolved — reschedule the persist
 			// for after the store has had time to recover.
-			rc.env.After(rc.res.PersistRetryDelay, func() {
+			rc.env.After(rc.persistRetryDelay(), func() {
 				rc.schedulePersist(node, key, version)
 			})
 			return nil
@@ -167,9 +231,9 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 		if meta.Tags["kind"] == "final" {
 			// Final outputs are discarded from the cache as soon as
 			// they have been written back (§6.3).
-			rc.kv.Evict(key)
+			rc.be.Evict(key)
 		} else {
-			rc.kv.SetTag(node, key, "dirty", "0")
+			rc.be.SetTag(node, key, "dirty", "0")
 		}
 		rc.statsMu.Lock()
 		rc.writeBacks++
@@ -180,12 +244,6 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 		rc.resolvePending(key)
 	}
 	return nil
-}
-
-// newPendingFuture creates the completion future for a pending
-// write-back.
-func newPendingFuture(rc *RCLib) *sim.Future[struct{}] {
-	return sim.NewFuture[struct{}](rc.env)
 }
 
 func (rc *RCLib) resolvePending(key string) {
@@ -199,33 +257,39 @@ func (rc *RCLib) resolvePending(key string) {
 }
 
 // Get implements faas.Storage: cache first, RSDS on miss, with
-// admission of cache-worthy inputs.
+// admission of cache-worthy inputs. With a durable engine every read
+// is an RSDS read and counts as a miss — cache-off mode reports an
+// honest zero hit ratio.
 func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.Blob, error) {
-	blob, meta, err := rc.kvRead(caller, key)
+	if rc.durable {
+		blob, _, err := rc.be.Read(caller, key)
+		rc.statsMu.Lock()
+		rc.misses++
+		if rc.isEphemeralKey(key) {
+			rc.ephemMisses++
+		}
+		rc.statsMu.Unlock()
+		if err != nil {
+			return faas.Blob{}, err
+		}
+		return blob, nil
+	}
+	blob, meta, err := rc.be.Read(caller, key)
 	if err == nil {
 		rc.statsMu.Lock()
 		rc.hits++
 		if meta.Tags["kind"] == "intermediate" {
 			rc.ephemHits++
 		}
-		if m, ok := rc.kv.MasterOf(key); ok && m == caller {
-			rc.localHits++
+		if rc.pv != nil {
+			if m, ok := rc.pv.MasterOf(key); ok && m == caller {
+				rc.localHits++
+			}
 		}
 		rc.statsMu.Unlock()
 		return blob, nil
 	}
-	unavailable := isCacheUnavailable(err)
-	if !unavailable && rc.chunkingOn() {
-		if blob, ok := rc.getChunked(caller, key); ok {
-			rc.statsMu.Lock()
-			rc.hits++
-			if rc.isEphemeralKey(key) {
-				rc.ephemHits++
-			}
-			rc.statsMu.Unlock()
-			return blob, nil
-		}
-	}
+	unavailable := store.IsUnavailable(err)
 	rc.statsMu.Lock()
 	rc.misses++
 	if unavailable {
@@ -252,12 +316,14 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 	if rerr != nil {
 		return faas.Blob{}, rerr
 	}
-	if opts.ShouldCache && !unavailable && blob.Size <= rc.kv.Config().MaxObjectSize {
+	if opts.ShouldCache && !unavailable && blob.Size <= rc.base.MaxObjectSize() {
 		// Admit off the critical path; a failed admission (no space)
 		// is only a lost opportunity. Skipped while the cache is
-		// unavailable — the breaker decides when to come back.
+		// unavailable — the breaker decides when to come back. The
+		// admission ceiling is the engine's raw per-object limit:
+		// missed inputs are not striped.
 		rc.env.Go(func() {
-			_, werr := rc.kv.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
+			_, werr := rc.be.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
 			if werr == nil {
 				rc.statsMu.Lock()
 				rc.admissions++
@@ -274,24 +340,32 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 //   - final outputs get a synchronous shadow placeholder in the RSDS,
 //     land in the cache, and a Persistor function is injected to push
 //     the payload asynchronously (write-back).
+//
+// With the chunking middleware enabled the backend's logical ceiling
+// is effectively unbounded, so oversized cacheable objects take the
+// ordinary cache paths and stripe transparently below. With a durable
+// engine every write is a synchronous write-through.
 func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts) error {
 	rc.statsMu.Lock()
 	if opts.Kind != faas.KindInput {
 		rc.ephemeral += blob.Size
 	}
 	rc.statsMu.Unlock()
-	// Large-object extension: stripe oversized cacheable objects.
-	if rc.chunkingOn() && blob.Size > rc.kv.Config().MaxObjectSize &&
-		(opts.Kind == faas.KindIntermediate || opts.ShouldCache) {
-		if rc.putChunked(caller, key, blob, opts) {
-			return nil
-		}
+	if rc.durable {
+		// Durable engine: the ack IS persistence. No shadow, no
+		// persistor, no dirty state.
+		_, err := rc.be.Write(caller, key, blob, nil, caller)
+		rc.statsMu.Lock()
+		rc.bypassWrites++
+		rc.statsMu.Unlock()
+		return err
 	}
+	maxObj := rc.be.MaxObjectSize()
 	// Pipeline intermediates are cached regardless of the benefit
 	// verdict (§6.3 presumes they live in the cache and are discarded
 	// when the pipeline ends); everything else respects the Predictor.
 	if opts.Kind != faas.KindIntermediate &&
-		(!opts.ShouldCache || blob.Size > rc.kv.Config().MaxObjectSize) {
+		(!opts.ShouldCache || blob.Size > maxObj) {
 		rc.rsds.Put(caller, key, blob, nil, false)
 		rc.statsMu.Lock()
 		rc.bypassWrites++
@@ -299,14 +373,14 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 		return nil
 	}
 	if opts.Kind == faas.KindIntermediate {
-		if blob.Size > rc.kv.Config().MaxObjectSize {
+		if blob.Size > maxObj {
 			rc.rsds.Put(caller, key, blob, nil, false)
 			rc.statsMu.Lock()
 			rc.bypassWrites++
 			rc.statsMu.Unlock()
 			return nil
 		}
-		_, err := rc.kvWrite(caller, key, blob, map[string]string{
+		_, err := rc.be.Write(caller, key, blob, map[string]string{
 			"kind": "intermediate", "pipeline": opts.Pipeline, "dirty": "0",
 		}, caller)
 		if err != nil {
@@ -326,7 +400,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	if rc.isRelaxed(key) {
 		// §6.2 relaxed mode: cache-resident, lazily written back. The
 		// version tag 0 makes WriteBackNow use a plain Put.
-		_, err := rc.kvWrite(caller, key, blob, map[string]string{
+		_, err := rc.be.Write(caller, key, blob, map[string]string{
 			"kind": "final", "dirty": "1", "version": "0",
 		}, caller)
 		if err != nil {
@@ -337,7 +411,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	}
 	// Final output: shadow + cache + async persist.
 	version := rc.rsds.PutShadow(caller, key, blob.Size)
-	_, err := rc.kvWrite(caller, key, blob, map[string]string{
+	_, err := rc.be.Write(caller, key, blob, map[string]string{
 		"kind": "final", "dirty": "1", "version": strconv.FormatUint(version, 10),
 	}, caller)
 	if err != nil {
@@ -355,7 +429,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 // the cause was unavailability (capacity misses are the ordinary
 // bypass path, not degradation).
 func (rc *RCLib) countWriteFallback(err error) {
-	if !isCacheUnavailable(err) {
+	if !store.IsUnavailable(err) {
 		return
 	}
 	rc.statsMu.Lock()
@@ -381,7 +455,7 @@ func (rc *RCLib) schedulePersist(node simnet.NodeID, key string, version uint64)
 			// to the dying master for locality). The acked payload still
 			// lives in backup replicas — retry until persistBody gets to
 			// run and decide.
-			rc.env.After(rc.res.PersistRetryDelay, func() {
+			rc.env.After(rc.persistRetryDelay(), func() {
 				rc.schedulePersist(node, key, version)
 			})
 		}
@@ -390,7 +464,7 @@ func (rc *RCLib) schedulePersist(node simnet.NodeID, key string, version uint64)
 
 // Delete implements faas.Storage.
 func (rc *RCLib) Delete(caller simnet.NodeID, key string) error {
-	rc.kv.Evict(key)
+	rc.be.Evict(key)
 	return rc.rsds.Delete(caller, key, false)
 }
 
@@ -404,17 +478,15 @@ func (rc *RCLib) isEphemeralKey(key string) bool {
 
 // PipelineDone implements faas.PipelineAware: intermediate objects of
 // the pipeline are removed from the cache (not persisted) once the
-// pipeline completes (§6.3).
+// pipeline completes (§6.3). Evicting a striped object drops every
+// stripe inside the chunking middleware.
 func (rc *RCLib) PipelineDone(pipeline string) {
 	rc.mu.Lock()
 	keys := rc.pipelines[pipeline]
 	delete(rc.pipelines, pipeline)
 	rc.mu.Unlock()
 	for _, key := range keys {
-		if rc.evictChunked(key) {
-			continue
-		}
-		rc.kv.Evict(key)
+		rc.be.Evict(key)
 	}
 }
 
@@ -422,7 +494,7 @@ func (rc *RCLib) PipelineDone(pipeline string) {
 // the CacheAgent when reclaiming space). Returns false when the object
 // is not dirty or vanished.
 func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
-	blob, meta, err := rc.kvRead(node, key)
+	blob, meta, err := rc.be.Read(node, key)
 	if err != nil || meta.Tags["dirty"] != "1" {
 		return false
 	}
@@ -435,7 +507,7 @@ func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
 			// An equal or newer version is already persisted; the
 			// cached copy is effectively clean and must not overwrite
 			// the store.
-			rc.kv.SetTag(node, key, "dirty", "0")
+			rc.be.SetTag(node, key, "dirty", "0")
 			rc.resolvePending(key)
 		}
 		return false
@@ -480,9 +552,10 @@ type CacheStats struct {
 
 // Stats returns a snapshot of the proxy counters.
 func (rc *RCLib) Stats() CacheStats {
-	rc.brk.mu.Lock()
-	trips := rc.brk.trips
-	rc.brk.mu.Unlock()
+	var rs store.ResilienceStats
+	if rc.resil != nil {
+		rs = rc.resil.Stats()
+	}
 	rc.statsMu.Lock()
 	defer rc.statsMu.Unlock()
 	return CacheStats{
@@ -491,8 +564,8 @@ func (rc *RCLib) Stats() CacheStats {
 		Admissions: rc.admissions, WriteBacks: rc.writeBacks,
 		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
 		FallbackReads: rc.fallbackReads, FallbackWrites: rc.fallbackWrites,
-		CacheRetries: rc.cacheRetries, CacheTimeouts: rc.cacheTimeouts,
-		BreakerTrips: trips,
+		CacheRetries: rs.Retries, CacheTimeouts: rs.Timeouts,
+		BreakerTrips: rs.BreakerTrips,
 	}
 }
 

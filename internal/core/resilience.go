@@ -1,288 +1,21 @@
+// The graceful-degradation layer (timeouts, jittered retry, per-server
+// circuit breakers) moved into the storage data plane as the
+// store.Resilient middleware; these aliases keep the core-facing names
+// that experiments and drills configure it through.
 package core
 
-import (
-	"errors"
-	"math/rand"
-	"sync"
-	"time"
+import "ofc/internal/store"
 
-	"ofc/internal/kvstore"
-	"ofc/internal/sim"
-	"ofc/internal/simnet"
-)
+// ResilienceConfig tunes the proxy's behavior when the cache
+// misbehaves. See store.ResilienceConfig for the field semantics.
+type ResilienceConfig = store.ResilienceConfig
 
-// ResilienceConfig tunes rclib's behavior when the cache misbehaves:
-// per-operation deadlines, bounded retry with exponential backoff and
-// jitter, and a per-server circuit breaker that short-circuits to the
-// RSDS while a node recovers.
-type ResilienceConfig struct {
-	// OpTimeout is the deadline for one cache operation attempt.
-	OpTimeout time.Duration
-	// MaxRetries is the number of re-attempts after the first try.
-	MaxRetries int
-	// RetryBase is the first backoff; it doubles per attempt up to
-	// RetryMax. Jitter randomizes each backoff by ±Jitter fraction.
-	RetryBase time.Duration
-	RetryMax  time.Duration
-	Jitter    float64
-	// BreakerThreshold consecutive unavailability errors against one
-	// server open its breaker; while open, cache ops targeting it fail
-	// fast (straight to the RSDS). After BreakerCooldown a probe is
-	// allowed through (half-open).
-	BreakerThreshold int
-	BreakerCooldown  time.Duration
-	// PersistRetryDelay is how long a Persistor waits before retrying
-	// when the cache is unavailable; the pending write-back is never
-	// dropped (acked writes survive in backup replicas).
-	PersistRetryDelay time.Duration
-}
+// DefaultResilienceConfig returns the testbed constants.
+func DefaultResilienceConfig() ResilienceConfig { return store.DefaultResilienceConfig() }
 
-// DefaultResilienceConfig returns constants sized for the testbed:
-// timeouts well above healthy op latency, a breaker that trips within
-// a handful of failed ops, and a cooldown on the order of RAMCloud's
-// fast recovery.
-func DefaultResilienceConfig() ResilienceConfig {
-	return ResilienceConfig{
-		OpTimeout:         100 * time.Millisecond,
-		MaxRetries:        2,
-		RetryBase:         5 * time.Millisecond,
-		RetryMax:          50 * time.Millisecond,
-		Jitter:            0.2,
-		BreakerThreshold:  3,
-		BreakerCooldown:   time.Second,
-		PersistRetryDelay: 500 * time.Millisecond,
-	}
-}
-
-// Sentinel errors of the resilience layer.
+// Sentinel errors of the resilience layer, re-exported under their
+// historical core names.
 var (
-	errCacheTimeout = errors.New("core: cache operation timed out")
-	errBreakerOpen  = errors.New("core: cache circuit breaker open")
+	ErrCacheTimeout = store.ErrCacheTimeout
+	ErrBreakerOpen  = store.ErrBreakerOpen
 )
-
-// isCacheUnavailable classifies errors that mean "the cache cannot
-// serve this right now" — the triggers for RSDS fallback — as opposed
-// to definitive answers like ErrNotFound or ErrNoSpace.
-func isCacheUnavailable(err error) bool {
-	if err == nil {
-		return false
-	}
-	return errors.Is(err, kvstore.ErrCrashed) ||
-		errors.Is(err, kvstore.ErrNoSuchServer) ||
-		errors.Is(err, kvstore.ErrNotEnoughSrvs) ||
-		errors.Is(err, simnet.ErrUnreachable) ||
-		errors.Is(err, errCacheTimeout) ||
-		errors.Is(err, errBreakerOpen)
-}
-
-// breaker is one server's circuit-breaker state. failures counts
-// consecutive unavailability errors; once it reaches the threshold the
-// breaker is open until openUntil, after which one probe is let
-// through (half-open): success closes it, failure re-opens.
-type breaker struct {
-	failures  int
-	openUntil sim.Time
-}
-
-// brk manages the per-server breakers and the jitter RNG.
-type brk struct {
-	mu       sync.Mutex
-	cfg      ResilienceConfig
-	env      *sim.Env
-	rng      *rand.Rand
-	breakers map[simnet.NodeID]*breaker
-	trips    int64
-}
-
-func newBrk(env *sim.Env, cfg ResilienceConfig) *brk {
-	return &brk{
-		cfg:      cfg,
-		env:      env,
-		rng:      env.NewRand(),
-		breakers: make(map[simnet.NodeID]*breaker),
-	}
-}
-
-// allow reports whether an op against node may proceed (breaker closed
-// or half-open probe).
-func (b *brk) allow(node simnet.NodeID) bool {
-	now := b.env.Now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.breakers[node]
-	if s == nil || s.failures < b.cfg.BreakerThreshold {
-		return true
-	}
-	return now >= s.openUntil
-}
-
-// report records an op outcome against node.
-func (b *brk) report(node simnet.NodeID, ok bool) {
-	now := b.env.Now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.breakers[node]
-	if s == nil {
-		s = &breaker{}
-		b.breakers[node] = s
-	}
-	if ok {
-		s.failures = 0
-		return
-	}
-	s.failures++
-	if s.failures >= b.cfg.BreakerThreshold {
-		if s.failures == b.cfg.BreakerThreshold {
-			b.trips++
-		}
-		s.openUntil = now + b.cfg.BreakerCooldown
-	}
-}
-
-// state returns (failures, open) for node, for tests and introspection.
-func (b *brk) state(node simnet.NodeID) (failures int, open bool) {
-	now := b.env.Now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.breakers[node]
-	if s == nil {
-		return 0, false
-	}
-	return s.failures, s.failures >= b.cfg.BreakerThreshold && now < s.openUntil
-}
-
-// backoff computes the jittered exponential backoff for re-attempt n
-// (n >= 1).
-func (b *brk) backoff(n int) time.Duration {
-	d := b.cfg.RetryBase
-	for i := 1; i < n; i++ {
-		d *= 2
-		if d >= b.cfg.RetryMax {
-			d = b.cfg.RetryMax
-			break
-		}
-	}
-	if d > b.cfg.RetryMax {
-		d = b.cfg.RetryMax
-	}
-	if b.cfg.Jitter > 0 {
-		b.mu.Lock()
-		f := 1 + b.cfg.Jitter*(2*b.rng.Float64()-1)
-		b.mu.Unlock()
-		d = time.Duration(float64(d) * f)
-	}
-	return d
-}
-
-// SetResilience replaces the proxy's resilience constants. Call before
-// traffic starts; existing breaker state is reset.
-func (rc *RCLib) SetResilience(cfg ResilienceConfig) {
-	rc.brk = newBrk(rc.env, cfg)
-	rc.res = cfg
-}
-
-// BreakerState exposes one server's breaker for tests and debugging.
-func (rc *RCLib) BreakerState(node simnet.NodeID) (failures int, open bool) {
-	return rc.brk.state(node)
-}
-
-// kvTarget picks the breaker key for ops on key: the current master if
-// placement is known, otherwise the node the op would prefer.
-func (rc *RCLib) kvTarget(key string, fallback simnet.NodeID) simnet.NodeID {
-	if m, ok := rc.kv.MasterOf(key); ok {
-		return m
-	}
-	return fallback
-}
-
-type kvReadRes struct {
-	blob kvstore.Blob
-	meta kvstore.Meta
-	err  error
-}
-
-// kvRead is the resilient cache read: per-attempt timeout, bounded
-// backoff retry, circuit breaker. Definitive answers (hit, NotFound)
-// return immediately; only unavailability is retried.
-func (rc *RCLib) kvRead(caller simnet.NodeID, key string) (kvstore.Blob, kvstore.Meta, error) {
-	target := rc.kvTarget(key, caller)
-	if !rc.brk.allow(target) {
-		return kvstore.Blob{}, kvstore.Meta{}, errBreakerOpen
-	}
-	var lastErr error
-	for attempt := 0; attempt <= rc.res.MaxRetries; attempt++ {
-		if attempt > 0 {
-			rc.env.Sleep(rc.brk.backoff(attempt))
-			rc.statsMu.Lock()
-			rc.cacheRetries++
-			rc.statsMu.Unlock()
-		}
-		f := sim.NewFuture[kvReadRes](rc.env)
-		rc.env.Go(func() {
-			blob, meta, err := rc.kv.Read(caller, key)
-			f.Set(kvReadRes{blob, meta, err})
-		})
-		r, ok := f.WaitTimeout(rc.res.OpTimeout)
-		if !ok {
-			lastErr = errCacheTimeout
-			rc.statsMu.Lock()
-			rc.cacheTimeouts++
-			rc.statsMu.Unlock()
-			rc.brk.report(target, false)
-			continue
-		}
-		if isCacheUnavailable(r.err) {
-			lastErr = r.err
-			rc.brk.report(target, false)
-			continue
-		}
-		rc.brk.report(target, true)
-		return r.blob, r.meta, r.err
-	}
-	return kvstore.Blob{}, kvstore.Meta{}, lastErr
-}
-
-// kvWrite is the resilient cache write, mirroring kvRead. ErrNoSpace
-// and ErrTooLarge are definitive (capacity, not availability) and
-// return immediately.
-func (rc *RCLib) kvWrite(caller simnet.NodeID, key string, blob kvstore.Blob, tags map[string]string, preferred simnet.NodeID) (uint64, error) {
-	target := rc.kvTarget(key, preferred)
-	if !rc.brk.allow(target) {
-		return 0, errBreakerOpen
-	}
-	type res struct {
-		ver uint64
-		err error
-	}
-	var lastErr error
-	for attempt := 0; attempt <= rc.res.MaxRetries; attempt++ {
-		if attempt > 0 {
-			rc.env.Sleep(rc.brk.backoff(attempt))
-			rc.statsMu.Lock()
-			rc.cacheRetries++
-			rc.statsMu.Unlock()
-		}
-		f := sim.NewFuture[res](rc.env)
-		rc.env.Go(func() {
-			v, err := rc.kv.Write(caller, key, blob, tags, preferred)
-			f.Set(res{v, err})
-		})
-		r, ok := f.WaitTimeout(rc.res.OpTimeout)
-		if !ok {
-			lastErr = errCacheTimeout
-			rc.statsMu.Lock()
-			rc.cacheTimeouts++
-			rc.statsMu.Unlock()
-			rc.brk.report(target, false)
-			continue
-		}
-		if isCacheUnavailable(r.err) {
-			lastErr = r.err
-			rc.brk.report(target, false)
-			continue
-		}
-		rc.brk.report(target, true)
-		return r.ver, r.err
-	}
-	return 0, lastErr
-}

@@ -6,108 +6,7 @@ import (
 
 	"ofc/internal/faas"
 	"ofc/internal/kvstore"
-	"ofc/internal/sim"
-	"ofc/internal/simnet"
 )
-
-// TestBreakerTransitions walks the per-server circuit breaker through
-// its state machine: closed → open at the threshold (counted as one
-// trip), half-open probe after the cooldown, probe failure re-opens
-// without a second trip, probe success closes.
-func TestBreakerTransitions(t *testing.T) {
-	env := sim.NewEnv(1)
-	cfg := DefaultResilienceConfig()
-	cfg.BreakerThreshold = 3
-	cfg.BreakerCooldown = time.Second
-	b := newBrk(env, cfg)
-	node := simnet.NodeID(7)
-
-	type step struct {
-		name      string
-		act       func() // report or clock advance
-		wantAllow bool
-		wantOpen  bool
-		wantTrips int64
-	}
-	steps := []step{
-		{"fail 1", func() { b.report(node, false) }, true, false, 0},
-		{"fail 2", func() { b.report(node, false) }, true, false, 0},
-		{"fail 3 trips", func() { b.report(node, false) }, false, true, 1},
-		{"still open", func() { env.Sleep(cfg.BreakerCooldown / 2) }, false, true, 1},
-		{"cooldown elapses (half-open)", func() { env.Sleep(cfg.BreakerCooldown) }, true, false, 1},
-		{"probe fails, re-opens, no new trip", func() { b.report(node, false) }, false, true, 1},
-		{"second cooldown", func() { env.Sleep(2 * cfg.BreakerCooldown) }, true, false, 1},
-		{"probe succeeds, closes", func() { b.report(node, true) }, true, false, 1},
-		{"stays closed", func() { b.report(node, false) }, true, false, 1},
-	}
-	env.Go(func() {
-		for _, s := range steps {
-			s.act()
-			if got := b.allow(node); got != s.wantAllow {
-				t.Errorf("%s: allow=%v, want %v", s.name, got, s.wantAllow)
-			}
-			if _, open := b.state(node); open != s.wantOpen {
-				t.Errorf("%s: open=%v, want %v", s.name, open, s.wantOpen)
-			}
-			b.mu.Lock()
-			trips := b.trips
-			b.mu.Unlock()
-			if trips != s.wantTrips {
-				t.Errorf("%s: trips=%d, want %d", s.name, trips, s.wantTrips)
-			}
-		}
-		// An unknown node is always allowed.
-		if !b.allow(99) {
-			t.Error("fresh node not allowed")
-		}
-	})
-	env.Run()
-}
-
-// TestBackoffBounds checks the exponential schedule: doubling from
-// RetryBase, capped at RetryMax, and jitter within ±Jitter.
-func TestBackoffBounds(t *testing.T) {
-	env := sim.NewEnv(1)
-	cfg := DefaultResilienceConfig()
-	cfg.RetryBase = 5 * time.Millisecond
-	cfg.RetryMax = 50 * time.Millisecond
-
-	cfg.Jitter = 0
-	b := newBrk(env, cfg)
-	exact := []struct {
-		attempt int
-		want    time.Duration
-	}{
-		{1, 5 * time.Millisecond},
-		{2, 10 * time.Millisecond},
-		{3, 20 * time.Millisecond},
-		{4, 40 * time.Millisecond},
-		{5, 50 * time.Millisecond}, // capped
-		{9, 50 * time.Millisecond},
-	}
-	for _, c := range exact {
-		if got := b.backoff(c.attempt); got != c.want {
-			t.Errorf("backoff(%d)=%v, want %v", c.attempt, got, c.want)
-		}
-	}
-
-	cfg.Jitter = 0.2
-	b = newBrk(env, cfg)
-	for attempt := 1; attempt <= 8; attempt++ {
-		base := cfg.RetryBase << (attempt - 1)
-		if base > cfg.RetryMax {
-			base = cfg.RetryMax
-		}
-		lo := time.Duration(float64(base) * (1 - cfg.Jitter))
-		hi := time.Duration(float64(base) * (1 + cfg.Jitter))
-		for i := 0; i < 20; i++ {
-			d := b.backoff(attempt)
-			if d < lo || d > hi {
-				t.Fatalf("backoff(%d)=%v outside [%v, %v]", attempt, d, lo, hi)
-			}
-		}
-	}
-}
 
 // TestGetFallsBackToRSDS is the end-to-end read degradation path: the
 // key's cache master crashes, the resilient read retries then gives

@@ -2,7 +2,7 @@ package core
 
 import (
 	"ofc/internal/faas"
-	"ofc/internal/kvstore"
+	"ofc/internal/store"
 )
 
 // Router implements OFC's request routing (§6.5) as a faas.Router.
@@ -11,16 +11,51 @@ import (
 // several, selection follows the paper's priority order: (i) smallest
 // gap between the sandbox's current memory and the predicted need,
 // (ii) available node memory when the sandbox must grow, (iii) data
-// locality (node mastering the requested object), (iv) most recently
+// locality (node mastering the requested objects), (iv) most recently
 // used sandbox. When a new sandbox is needed, the node mastering the
-// in-memory cached copy of the input object is preferred if it has
+// in-memory cached copy of the input data is preferred if it has
 // sufficient resources.
+//
+// The router sees the cache only through its placement view; it works
+// unchanged over any storage engine, and degrades to pure
+// capacity-based routing when the engine has no placement (cache-off).
 type Router struct {
-	kv *kvstore.Cluster
+	pv store.PlacementView // nil when the backend has no placement
 }
 
-// NewRouter builds the OFC routing policy over the cache cluster.
-func NewRouter(kv *kvstore.Cluster) *Router { return &Router{kv: kv} }
+// NewRouter builds the OFC routing policy over a placement view (nil
+// disables locality).
+func NewRouter(pv store.PlacementView) *Router { return &Router{pv: pv} }
+
+// dataNode returns the node mastering the majority of the request's
+// input *bytes* — multi-input functions are pulled toward the node
+// where most of their data lives, not wherever the first key happens
+// to be. Ties break toward the lowest node ID so routing stays
+// deterministic. Returns -1 when nothing is cached.
+func (r *Router) dataNode(keys []string) int {
+	if r.pv == nil || len(keys) == 0 {
+		return -1
+	}
+	weight := make(map[int]int64)
+	for _, loc := range r.pv.Locate(keys) {
+		if !loc.OK {
+			continue
+		}
+		sz := loc.Size
+		if sz < 1 {
+			// Zero-sized placements still vote: presence is locality.
+			sz = 1
+		}
+		weight[int(loc.Node)] += sz
+	}
+	best, bestW := -1, int64(0)
+	for node, w := range weight {
+		if w > bestW || (w == bestW && best >= 0 && node < best) {
+			best, bestW = node, w
+		}
+	}
+	return best
+}
 
 // Route implements faas.Router.
 func (r *Router) Route(req *faas.Request, all []*faas.Invoker, warmIdle []*faas.Invoker) *faas.Invoker {
@@ -28,12 +63,7 @@ func (r *Router) Route(req *faas.Request, all []*faas.Invoker, warmIdle []*faas.
 	if wanted == 0 {
 		wanted = req.Function.MemoryBooked
 	}
-	var dataNode = -1
-	if len(req.InputKeys) > 0 {
-		if m, ok := r.kv.MasterOf(req.InputKeys[0]); ok {
-			dataNode = int(m)
-		}
-	}
+	dataNode := r.dataNode(req.InputKeys)
 
 	if len(warmIdle) > 0 {
 		best := warmIdle[0]
@@ -48,7 +78,7 @@ func (r *Router) Route(req *faas.Request, all []*faas.Invoker, warmIdle []*faas.
 	}
 
 	// New sandbox: prefer the node holding the master copy of the
-	// input object if it has the resources (counting cache memory the
+	// input data if it has the resources (counting cache memory the
 	// governor can reclaim).
 	if dataNode >= 0 {
 		for _, inv := range all {

@@ -299,6 +299,13 @@ func TestChunkingExtension(t *testing.T) {
 	}
 }
 
+func TestStorePlane(t *testing.T) {
+	tab, healthy := StorePlane(1)
+	if !healthy {
+		t.Errorf("store plane acceptance failed:\n%s", tab)
+	}
+}
+
 func TestTableCSV(t *testing.T) {
 	tab := &Table{Headers: []string{"a", "b"}}
 	tab.Add("x,y", 3*time.Millisecond)

@@ -195,3 +195,64 @@ func Constants(seed int64) *Table {
 
 	return t
 }
+
+// StorePlane measures the refactored storage data plane end to end:
+// batched multi-object operations resolve all placements in one
+// coordinator round-trip and issue at most one control RPC per
+// involved master, where per-key loops pay one of each per key. The
+// returned flag is the acceptance verdict.
+func StorePlane(seed int64) (*Table, bool) {
+	t := &Table{
+		Title:   "Extension — storage data plane (sharded coordinator, batched multi-ops)",
+		Headers: []string{"Path", "Keys", "Coord RPCs", "Server RPCs", "Wall"},
+	}
+	cfg := DefaultDeploy()
+	cfg.Seed = seed
+	d := NewDeployment(ModeOFC, cfg)
+	sys := d.Sys
+	const n = 16
+	healthy := true
+	d.Run(func() {
+		for _, w := range sys.WorkerNodes {
+			sys.KV.SetMemoryLimit(w, 1<<30)
+		}
+		caller := sys.WorkerNodes[0]
+		keys := make([]string, n)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("sp/%d", i)
+			pref := sys.WorkerNodes[i%len(sys.WorkerNodes)]
+			if _, err := sys.KV.Write(pref, keys[i], kvstore.Synthetic(256<<10), nil, pref); err != nil {
+				healthy = false
+				return
+			}
+		}
+		before := sys.KV.Stats()
+		t0 := d.Env.Now()
+		for _, r := range sys.KV.ReadMulti(caller, keys) {
+			if r.Err != nil {
+				healthy = false
+			}
+		}
+		batched := sys.KV.Stats()
+		t.Add("ReadMulti (batched)", n,
+			batched.CoordRPCs-before.CoordRPCs, batched.ServerRPCs-before.ServerRPCs,
+			time.Duration(d.Env.Now()-t0))
+		t0 = d.Env.Now()
+		for _, k := range keys {
+			if _, _, err := sys.KV.Read(caller, k); err != nil {
+				healthy = false
+			}
+		}
+		per := sys.KV.Stats()
+		t.Add("per-key reads", n,
+			per.CoordRPCs-batched.CoordRPCs, per.ServerRPCs-batched.ServerRPCs,
+			time.Duration(d.Env.Now()-t0))
+		if batched.CoordRPCs-before.CoordRPCs != 1 ||
+			batched.ServerRPCs-before.ServerRPCs > int64(len(sys.WorkerNodes)) {
+			healthy = false
+		}
+	})
+	t.Note = fmt.Sprintf("coordinator shards: %d; batched path groups keys per master, ≤1 control RPC per involved server",
+		kvstore.DefaultConfig().CoordShards)
+	return t, healthy
+}

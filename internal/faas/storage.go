@@ -4,32 +4,42 @@ import (
 	"ofc/internal/imoc"
 	"ofc/internal/objstore"
 	"ofc/internal/simnet"
+	"ofc/internal/store"
 )
 
-// rsdsStorage is the OWK-Swift baseline data plane: every Extract and
-// Load goes straight to the remote store.
-type rsdsStorage struct {
-	store *objstore.Store
+// backendStorage binds function bodies to a bare storage engine — no
+// proxy policy, no hit accounting, just the Storage verbs over a
+// store.Backend. It is the baseline data plane of §7.2 expressed
+// against the same interface the full OFC proxy uses.
+type backendStorage struct {
+	be store.Backend
+}
+
+// NewBackendStorage adapts any storage engine to the platform's
+// Storage interface.
+func NewBackendStorage(be store.Backend) Storage {
+	return &backendStorage{be: be}
 }
 
 // NewRSDSStorage binds function bodies directly to the RSDS (the
-// OWK-Swift configuration of §7.2).
-func NewRSDSStorage(store *objstore.Store) Storage {
-	return &rsdsStorage{store: store}
+// OWK-Swift configuration of §7.2) — the direct-passthrough engine
+// with nothing stacked on top.
+func NewRSDSStorage(st *objstore.Store) Storage {
+	return NewBackendStorage(store.NewPassthrough(st))
 }
 
-func (s *rsdsStorage) Get(caller simnet.NodeID, key string, _ PutOpts) (Blob, error) {
-	blob, _, err := s.store.Get(caller, key, false)
+func (s *backendStorage) Get(caller simnet.NodeID, key string, _ PutOpts) (Blob, error) {
+	blob, _, err := s.be.Read(caller, key)
 	return blob, err
 }
 
-func (s *rsdsStorage) Put(caller simnet.NodeID, key string, blob Blob, _ PutOpts) error {
-	s.store.Put(caller, key, blob, nil, false)
-	return nil
+func (s *backendStorage) Put(caller simnet.NodeID, key string, blob Blob, _ PutOpts) error {
+	_, err := s.be.Write(caller, key, blob, nil, caller)
+	return err
 }
 
-func (s *rsdsStorage) Delete(caller simnet.NodeID, key string) error {
-	return s.store.Delete(caller, key, false)
+func (s *backendStorage) Delete(caller simnet.NodeID, key string) error {
+	return s.be.Delete(caller, key)
 }
 
 // imocStorage is the OWK-Redis baseline: all data lives in a

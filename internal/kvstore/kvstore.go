@@ -19,7 +19,9 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofc/internal/sim"
@@ -89,6 +91,11 @@ type Config struct {
 	// a silent server dead (RPC timeout plus retries) before starting
 	// recovery; charged at the head of Recover.
 	CrashDetectTimeout time.Duration
+	// CoordShards is the number of hash partitions the coordinator
+	// splits its placement map into. Each shard has its own lock, so
+	// lookups for unrelated keys never contend. 1 reproduces the old
+	// single-lock coordinator (kept for the contention ablation).
+	CoordShards int
 }
 
 // DefaultConfig returns constants calibrated to the paper's testbed.
@@ -104,6 +111,7 @@ func DefaultConfig() Config {
 		PromotionPerMB:     10500 * time.Nanosecond,
 		SegmentSize:        16 << 20,
 		CrashDetectTimeout: 150 * time.Millisecond,
+		CoordShards:        16,
 	}
 }
 
@@ -162,10 +170,21 @@ type ObjectInfo struct {
 	Meta Meta
 }
 
-// placement records where an object's copies live.
+// placement records where an object's copies live and how big the
+// master copy is (sizes let locality-aware routers weigh keys by
+// bytes without touching the data path).
 type placement struct {
 	master  simnet.NodeID
 	backups []simnet.NodeID
+	size    int64
+}
+
+// coordShard is one hash partition of the coordinator's placement
+// metadata. Each shard is independently locked so placement lookups
+// for unrelated keys proceed in parallel.
+type coordShard struct {
+	mu     sync.Mutex
+	places map[string]placement
 }
 
 // Cluster is the whole store: a coordinator plus per-node servers.
@@ -174,11 +193,12 @@ type Cluster struct {
 	cfg      Config
 	coordloc simnet.NodeID
 
-	mu      sync.Mutex
+	mu      sync.Mutex // guards servers and the placement cursor
 	servers map[simnet.NodeID]*Server
-	places  map[string]placement
-	nextVer uint64
 	rr      int // round-robin cursor for placement
+
+	shards  []*coordShard
+	nextVer atomic.Uint64
 
 	statsMu      sync.Mutex
 	promotions   int64
@@ -187,6 +207,8 @@ type Cluster struct {
 	recoveries   int64
 	recoveryTime time.Duration
 	lastRecovery time.Duration
+	coordRPCs    int64
+	serverRPCs   int64
 }
 
 // New creates a cluster whose coordinator runs on coordNode.
@@ -200,13 +222,69 @@ func New(net *simnet.Network, coordNode simnet.NodeID, cfg Config) *Cluster {
 	if cfg.SegmentSize <= 0 {
 		cfg.SegmentSize = 16 << 20
 	}
+	if cfg.CoordShards <= 0 {
+		cfg.CoordShards = 16
+	}
+	shards := make([]*coordShard, cfg.CoordShards)
+	for i := range shards {
+		shards[i] = &coordShard{places: make(map[string]placement)}
+	}
 	return &Cluster{
 		net:      net,
 		cfg:      cfg,
 		coordloc: coordNode,
 		servers:  make(map[simnet.NodeID]*Server),
-		places:   make(map[string]placement),
+		shards:   shards,
 	}
+}
+
+// shardOf returns the coordinator shard owning key.
+func (c *Cluster) shardOf(key string) *coordShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// placeGet reads key's placement from its shard.
+func (c *Cluster) placeGet(key string) (placement, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	p, ok := sh.places[key]
+	sh.mu.Unlock()
+	return p, ok
+}
+
+// placeDelete drops key's placement.
+func (c *Cluster) placeDelete(key string) (placement, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	p, ok := sh.places[key]
+	if ok {
+		delete(sh.places, key)
+	}
+	sh.mu.Unlock()
+	return p, ok
+}
+
+// placeUpdate swaps key's placement under the shard lock, if present.
+func (c *Cluster) placeUpdate(key string, fn func(placement) placement) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if p, ok := sh.places[key]; ok {
+		sh.places[key] = fn(p)
+	}
+	sh.mu.Unlock()
+}
+
+// placeCount sums the objects tracked across all shards.
+func (c *Cluster) placeCount() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.places)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Config returns the cluster constants.
@@ -268,11 +346,13 @@ func (c *Cluster) liveServersLocked() []simnet.NodeID {
 
 // place assigns a master and backups for a new object. preferred, when
 // valid and live with capacity, becomes master (OFC locality, §6.5).
+// When a concurrent writer already placed the key, the existing
+// placement wins and is returned.
 func (c *Cluster) place(key string, size int64, preferred simnet.NodeID) (placement, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	live := c.liveServersLocked()
 	if len(live) < 1+c.cfg.Replication {
+		c.mu.Unlock()
 		return placement{}, ErrNotEnoughSrvs
 	}
 	master := simnet.NodeID(-1)
@@ -313,11 +393,19 @@ func (c *Cluster) place(key string, size int64, preferred simnet.NodeID) (placem
 		}
 	}
 	c.rr++
+	c.mu.Unlock()
 	if len(backups) < c.cfg.Replication {
 		return placement{}, ErrNotEnoughSrvs
 	}
-	p := placement{master: master, backups: backups}
-	c.places[key] = p
+	p := placement{master: master, backups: backups, size: size}
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if cur, ok := sh.places[key]; ok {
+		sh.mu.Unlock()
+		return cur, nil
+	}
+	sh.places[key] = p
+	sh.mu.Unlock()
 	return p, nil
 }
 
@@ -328,10 +416,11 @@ func (c *Cluster) lookup(caller simnet.NodeID, key string) (placement, bool, err
 		p  placement
 		ok bool
 	}
+	c.statsMu.Lock()
+	c.coordRPCs++
+	c.statsMu.Unlock()
 	r, err := simnet.TryCall(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		p, ok := c.places[key]
+		p, ok := c.placeGet(key)
 		return res{p, ok}
 	})
 	if err != nil {
@@ -340,18 +429,73 @@ func (c *Cluster) lookup(caller simnet.NodeID, key string) (placement, bool, err
 	return r.p, r.ok, nil
 }
 
+// lookupMulti fetches the placements of all keys in one coordinator
+// round-trip (a single control RPC regardless of batch size).
+func (c *Cluster) lookupMulti(caller simnet.NodeID, keys []string) ([]placement, []bool, error) {
+	type res struct {
+		ps []placement
+		ok []bool
+	}
+	c.statsMu.Lock()
+	c.coordRPCs++
+	c.statsMu.Unlock()
+	r, err := simnet.TryCall(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
+		ps := make([]placement, len(keys))
+		ok := make([]bool, len(keys))
+		for i, k := range keys {
+			ps[i], ok[i] = c.placeGet(k)
+		}
+		return res{ps, ok}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return r.ps, r.ok, nil
+}
+
 // MasterOf returns the node currently mastering key, without charging
 // network time (used by schedulers that co-locate with the cache; the
 // paper's controller queries the RAMCloud coordinator, whose cost is
 // part of the controller's fixed overhead).
 func (c *Cluster) MasterOf(key string) (simnet.NodeID, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, ok := c.places[key]
+	p, ok := c.placeGet(key)
 	if !ok {
 		return 0, false
 	}
 	return p.master, true
+}
+
+// Location describes where one key's master copy lives, for
+// byte-weighted locality decisions.
+type Location struct {
+	Node simnet.NodeID
+	Size int64
+	OK   bool
+}
+
+// Locate resolves the master node and object size for each key without
+// charging network time (scheduler-side placement view, like MasterOf).
+func (c *Cluster) Locate(keys []string) []Location {
+	out := make([]Location, len(keys))
+	for i, k := range keys {
+		if p, ok := c.placeGet(k); ok {
+			out[i] = Location{Node: p.master, Size: p.size, OK: true}
+		}
+	}
+	return out
+}
+
+// MaxObjectSize reports the per-object ceiling of this backend.
+func (c *Cluster) MaxObjectSize() int64 { return c.cfg.MaxObjectSize }
+
+// Usage reports the live master-copy bytes and memory limit of node's
+// server; zeros when the node hosts no server.
+func (c *Cluster) Usage(node simnet.NodeID) (used, limit int64) {
+	s := c.Server(node)
+	if s == nil {
+		return 0, 0
+	}
+	return s.Usage()
 }
 
 // Objects returns a snapshot of the master copies on node.
@@ -393,6 +537,12 @@ type ClusterStats struct {
 	// backups after crashes; LastRecovery is the most recent run.
 	RecoveryTime time.Duration
 	LastRecovery time.Duration
+	// CoordRPCs counts coordinator placement round-trips and
+	// ServerRPCs counts request/response exchanges with masters; the
+	// batching benchmark asserts ReadMulti's ≤1-per-server property
+	// against them.
+	CoordRPCs  int64
+	ServerRPCs int64
 }
 
 // Stats reports cluster-wide counters.
@@ -406,7 +556,16 @@ func (c *Cluster) Stats() ClusterStats {
 		Recoveries:   c.recoveries,
 		RecoveryTime: c.recoveryTime,
 		LastRecovery: c.lastRecovery,
+		CoordRPCs:    c.coordRPCs,
+		ServerRPCs:   c.serverRPCs,
 	}
+}
+
+// countServerRPC records one request/response exchange with a master.
+func (c *Cluster) countServerRPC() {
+	c.statsMu.Lock()
+	c.serverRPCs++
+	c.statsMu.Unlock()
 }
 
 // TotalUsed sums master-copy bytes across live servers.
@@ -426,6 +585,7 @@ func (c *Cluster) TotalUsed() int64 {
 
 func (c *Cluster) String() string {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return fmt.Sprintf("kvstore.Cluster{servers=%d objects=%d}", len(c.servers), len(c.places))
+	servers := len(c.servers)
+	c.mu.Unlock()
+	return fmt.Sprintf("kvstore.Cluster{servers=%d objects=%d shards=%d}", servers, c.placeCount(), len(c.shards))
 }

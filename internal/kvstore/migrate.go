@@ -20,17 +20,15 @@ func (c *Cluster) promotionTime(size int64) time.Duration {
 // the object there from the local replica, and demote the old master
 // to backup. No inter-node transfer of the payload occurs.
 func (c *Cluster) MigrateToBackup(key string) error {
-	c.mu.Lock()
-	p, ok := c.places[key]
+	p, ok := c.placeGet(key)
 	if !ok {
-		c.mu.Unlock()
 		return ErrNotFound
 	}
 	// Elect the backup with the most free master memory.
 	var dest simnet.NodeID = -1
 	var bestFree int64 = -1
 	oldMaster := p.master
-	ms := c.servers[oldMaster]
+	ms := c.Server(oldMaster)
 	var size int64
 	if ms != nil {
 		ms.mu.Lock()
@@ -40,7 +38,7 @@ func (c *Cluster) MigrateToBackup(key string) error {
 		ms.mu.Unlock()
 	}
 	for _, b := range p.backups {
-		s := c.servers[b]
+		s := c.Server(b)
 		if s == nil {
 			continue
 		}
@@ -52,7 +50,6 @@ func (c *Cluster) MigrateToBackup(key string) error {
 		}
 		s.mu.Unlock()
 	}
-	c.mu.Unlock()
 	if dest < 0 {
 		return ErrNotEnoughSrvs
 	}
@@ -65,16 +62,13 @@ func (c *Cluster) MigrateToBackup(key string) error {
 // without any transfer); otherwise the old master is gone (crash
 // recovery).
 func (c *Cluster) promote(key string, dest simnet.NodeID, demoteOld bool) error {
-	c.mu.Lock()
-	p, ok := c.places[key]
+	p, ok := c.placeGet(key)
 	if !ok {
-		c.mu.Unlock()
 		return ErrNotFound
 	}
 	oldMaster := p.master
-	ms := c.servers[oldMaster]
-	ds := c.servers[dest]
-	c.mu.Unlock()
+	ms := c.Server(oldMaster)
+	ds := c.Server(dest)
 	if ds == nil {
 		return ErrNoSuchServer
 	}
@@ -151,20 +145,19 @@ func (c *Cluster) promote(key string, dest simnet.NodeID, demoteOld bool) error 
 
 	// Update placement: dest becomes master; old master replaces dest
 	// in the backup list (if demoted).
-	c.mu.Lock()
-	p = c.places[key]
-	newBackups := make([]simnet.NodeID, 0, len(p.backups))
-	for _, b := range p.backups {
-		if b == dest {
-			if demoteOld && alive {
-				newBackups = append(newBackups, oldMaster)
+	c.placeUpdate(key, func(p placement) placement {
+		newBackups := make([]simnet.NodeID, 0, len(p.backups))
+		for _, b := range p.backups {
+			if b == dest {
+				if demoteOld && alive {
+					newBackups = append(newBackups, oldMaster)
+				}
+				continue
 			}
-			continue
+			newBackups = append(newBackups, b)
 		}
-		newBackups = append(newBackups, b)
-	}
-	c.places[key] = placement{master: dest, backups: newBackups}
-	c.mu.Unlock()
+		return placement{master: dest, backups: newBackups, size: p.size}
+	})
 
 	c.statsMu.Lock()
 	c.promotions++
@@ -177,9 +170,7 @@ func (c *Cluster) promote(key string, dest simnet.NodeID, demoteOld bool) error 
 // arbitrary destination. Kept for the ablation benchmark comparing it
 // against MigrateToBackup.
 func (c *Cluster) MigrateFull(key string, dest simnet.NodeID) error {
-	c.mu.Lock()
-	p, ok := c.places[key]
-	c.mu.Unlock()
+	p, ok := c.placeGet(key)
 	if !ok {
 		return ErrNotFound
 	}
@@ -212,10 +203,9 @@ func (c *Cluster) MigrateFull(key string, dest simnet.NodeID) error {
 	ms.log.delete(key)
 	ms.mu.Unlock()
 
-	c.mu.Lock()
-	p = c.places[key]
-	c.places[key] = placement{master: dest, backups: p.backups}
-	c.mu.Unlock()
+	c.placeUpdate(key, func(p placement) placement {
+		return placement{master: dest, backups: p.backups, size: p.size}
+	})
 
 	c.statsMu.Lock()
 	c.fullMoves++
@@ -288,22 +278,26 @@ func (c *Cluster) recoverCrashed(crashed simnet.NodeID, withDetect bool) (int, t
 		c.env().Sleep(c.cfg.CrashDetectTimeout)
 	}
 	start := c.env().Now()
-	c.mu.Lock()
 	var victims []string
-	for k, p := range c.places {
-		if p.master == crashed {
-			victims = append(victims, k)
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		for k, p := range sh.places {
+			if p.master == crashed {
+				victims = append(victims, k)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	sort.Strings(victims)
 	n := 0
 	for _, key := range victims {
-		c.mu.Lock()
-		p := c.places[key]
+		p, ok := c.placeGet(key)
+		if !ok {
+			continue
+		}
 		var dest simnet.NodeID = -1
 		for _, b := range p.backups {
-			s := c.servers[b]
+			s := c.Server(b)
 			if s == nil {
 				continue
 			}
@@ -317,7 +311,6 @@ func (c *Cluster) recoverCrashed(crashed simnet.NodeID, withDetect bool) (int, t
 				break
 			}
 		}
-		c.mu.Unlock()
 		if dest < 0 {
 			continue
 		}

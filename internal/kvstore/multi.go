@@ -1,0 +1,394 @@
+package kvstore
+
+// Batched multi-object operations. ReadMulti and WriteMulti group the
+// requested keys by the master server that owns them and exchange ONE
+// control round-trip with each involved server (plus a single
+// coordinator lookup for the whole batch), instead of one per key.
+// Chunked reads/writes and persistor write-backs go through these
+// paths, which is where the per-key control overhead used to dominate.
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+	"ofc/internal/simnet"
+)
+
+// ReadResult is the outcome of one key of a ReadMulti.
+type ReadResult struct {
+	Blob Blob
+	Meta Meta
+	Err  error
+}
+
+// WriteItem is one object of a WriteMulti batch.
+type WriteItem struct {
+	Key  string
+	Blob Blob
+	Tags map[string]string
+}
+
+// WriteResult is the outcome of one item of a WriteMulti.
+type WriteResult struct {
+	Version uint64
+	Err     error
+}
+
+// ReadMulti fetches a batch of keys, grouping them per master server:
+// one coordinator lookup for the whole batch, then one request and one
+// (bulk) response exchange per involved server. Per-key failures are
+// reported individually in the result slice.
+func (c *Cluster) ReadMulti(caller simnet.NodeID, keys []string) []ReadResult {
+	out := make([]ReadResult, len(keys))
+	if len(keys) == 0 {
+		return out
+	}
+	ps, oks, lerr := c.lookupMulti(caller, keys)
+	if lerr != nil {
+		for i := range out {
+			out[i].Err = lerr
+		}
+		return out
+	}
+	groups := make(map[simnet.NodeID][]int)
+	var order []simnet.NodeID
+	for i := range keys {
+		if !oks[i] {
+			out[i].Err = ErrNotFound
+			continue
+		}
+		m := ps[i].master
+		if _, seen := groups[m]; !seen {
+			order = append(order, m)
+		}
+		groups[m] = append(groups[m], i)
+	}
+	env := c.env()
+	wg := sim.NewWaitGroup(env)
+	for _, m := range order {
+		m, idxs := m, groups[m]
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			c.readGroup(caller, m, keys, idxs, out)
+		})
+	}
+	wg.Wait()
+	return out
+}
+
+// readGroup serves one master's share of a ReadMulti batch.
+func (c *Cluster) readGroup(caller, master simnet.NodeID, keys []string, idxs []int, out []ReadResult) {
+	fail := func(err error) {
+		for _, i := range idxs {
+			out[i].Err = err
+		}
+	}
+	s := c.Server(master)
+	if s == nil {
+		fail(ErrNoSuchServer)
+		return
+	}
+	env := c.env()
+	// One batched request to the master.
+	c.countServerRPC()
+	if err := c.net.TryTransfer(caller, master, c.cfg.ControlMsgSize); err != nil {
+		fail(err)
+		return
+	}
+	env.Sleep(time.Duration(len(idxs)) * c.cfg.ServeOverhead)
+	if caller != master {
+		// The remote-hit software penalty is paid once per batch, not
+		// once per key — the main latency win of batching.
+		env.Sleep(c.cfg.CrossNodeOverhead)
+	}
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		fail(ErrCrashed)
+		return
+	}
+	var payload int64
+	now := env.Now()
+	for _, i := range idxs {
+		o, found := s.log.get(keys[i])
+		if !found {
+			out[i].Err = ErrNotFound
+			continue
+		}
+		o.meta.NAccess++
+		o.meta.LastAccess = now
+		out[i].Blob, out[i].Meta = o.blob, o.meta
+		payload += o.blob.Size
+		s.reads++
+	}
+	s.mu.Unlock()
+	// One bulk response carrying every found payload.
+	if err := c.net.TryTransfer(master, caller, payload+c.cfg.ControlMsgSize); err != nil {
+		fail(err)
+	}
+}
+
+// WriteMulti stores a batch of objects, grouping them by target master:
+// one coordinator lookup/placement round for the whole batch, then one
+// bulk payload transfer and one ack per involved master, with replica
+// payloads likewise grouped per backup server. Per-item failures
+// (ErrNoSpace, ErrTooLarge) are reported individually; placement of a
+// failed brand-new object is rolled back as in Write.
+func (c *Cluster) WriteMulti(caller simnet.NodeID, items []WriteItem, preferred simnet.NodeID) []WriteResult {
+	out := make([]WriteResult, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	keys := make([]string, len(items))
+	for i, it := range items {
+		keys[i] = it.Key
+	}
+	ps, oks, lerr := c.lookupMulti(caller, keys)
+	if lerr != nil {
+		for i := range out {
+			out[i].Err = lerr
+		}
+		return out
+	}
+	// Resolve placements; place() new keys (the placement decision rides
+	// on the same coordinator round, as in Write).
+	speculative := make([]bool, len(items))
+	for i, it := range items {
+		if it.Blob.Size > c.cfg.MaxObjectSize {
+			out[i].Err = ErrTooLarge
+			continue
+		}
+		if !oks[i] {
+			p, err := c.place(it.Key, it.Blob.Size, preferred)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			ps[i] = p
+			speculative[i] = true
+		}
+	}
+	groups := make(map[simnet.NodeID][]int)
+	var order []simnet.NodeID
+	for i := range items {
+		if out[i].Err != nil {
+			continue
+		}
+		m := ps[i].master
+		if _, seen := groups[m]; !seen {
+			order = append(order, m)
+		}
+		groups[m] = append(groups[m], i)
+	}
+	env := c.env()
+	wg := sim.NewWaitGroup(env)
+	for _, m := range order {
+		m, idxs := m, groups[m]
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			c.writeGroup(caller, m, items, ps, speculative, idxs, out)
+		})
+	}
+	wg.Wait()
+	return out
+}
+
+// writeGroup lands one master's share of a WriteMulti batch and
+// replicates it, grouping replica payloads per backup server.
+func (c *Cluster) writeGroup(caller, master simnet.NodeID, items []WriteItem, ps []placement, speculative []bool, idxs []int, out []WriteResult) {
+	undo := func(i int) {
+		if speculative[i] {
+			c.placeDelete(items[i].Key)
+		}
+	}
+	fail := func(err error) {
+		for _, i := range idxs {
+			if out[i].Err == nil {
+				out[i].Err = err
+				undo(i)
+			}
+		}
+	}
+	s := c.Server(master)
+	if s == nil {
+		fail(ErrNoSuchServer)
+		return
+	}
+	env := c.env()
+	var total int64
+	for _, i := range idxs {
+		total += items[i].Blob.Size
+	}
+	// One bulk payload shipment to the master.
+	c.countServerRPC()
+	if err := c.net.TryTransfer(caller, master, total+c.cfg.ControlMsgSize); err != nil {
+		fail(err)
+		return
+	}
+	env.Sleep(time.Duration(len(idxs))*c.cfg.ServeOverhead + c.memCopyTime(total))
+
+	// Master-side processing, mirroring Write's space accounting.
+	var acc []acceptedItem
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		fail(ErrCrashed)
+		return
+	}
+	now := env.Now()
+	var cleanedBytes int64
+	for _, i := range idxs {
+		it := items[i]
+		old, existed := s.log.get(it.Key)
+		delta := it.Blob.Size
+		if existed {
+			delta -= old.meta.Size
+		}
+		if s.log.live+delta > s.limit {
+			out[i].Err = ErrNoSpace
+			undo(i)
+			continue
+		}
+		version := c.nextVer.Add(1)
+		var created sim.Time
+		var naccess int64
+		if existed {
+			created = old.meta.Created
+			naccess = old.meta.NAccess
+		} else {
+			created = now
+		}
+		meta := Meta{
+			Version: version, Size: it.Blob.Size, Created: created,
+			NAccess: naccess, LastAccess: now, Tags: cloneTags(it.Tags),
+		}
+		s.log.put(it.Key, &object{blob: it.Blob, meta: meta})
+		s.writes++
+		acc = append(acc, acceptedItem{idx: i, meta: meta})
+	}
+	if s.log.alloc > s.limit {
+		cleanedBytes = s.log.clean(s.limit)
+	}
+	s.mu.Unlock()
+	for _, a := range acc {
+		if !speculative[a.idx] {
+			i := a.idx
+			c.placeUpdate(items[i].Key, func(p placement) placement {
+				p.size = items[i].Blob.Size
+				return p
+			})
+		}
+	}
+	if cleanedBytes > 0 {
+		env.Sleep(c.memCopyTime(cleanedBytes))
+	}
+	if len(acc) == 0 {
+		return
+	}
+
+	// Replicate: group replica payloads per backup node so each backup
+	// sees one bulk transfer and one ack for its whole share.
+	type repShare struct {
+		items []acceptedItem
+		bytes int64
+	}
+	shares := make(map[simnet.NodeID]*repShare)
+	var repOrder []simnet.NodeID
+	for _, a := range acc {
+		for _, b := range ps[a.idx].backups {
+			sh := shares[b]
+			if sh == nil {
+				sh = &repShare{}
+				shares[b] = sh
+				repOrder = append(repOrder, b)
+			}
+			sh.items = append(sh.items, a)
+			sh.bytes += items[a.idx].Blob.Size
+		}
+	}
+	repErr := make(map[int]error, len(acc))
+	var repMu sync.Mutex
+	wg := sim.NewWaitGroup(env)
+	for _, b := range repOrder {
+		b, share := b, shares[b]
+		wg.Add(1)
+		env.Go(func() {
+			defer wg.Done()
+			err := c.replicateShare(master, b, items, share.items, share.bytes)
+			if err != nil {
+				repMu.Lock()
+				for _, a := range share.items {
+					if repErr[a.idx] == nil {
+						repErr[a.idx] = err
+					}
+				}
+				repMu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+
+	// Ack to the caller (one control message for the group).
+	ackErr := c.net.TryTransfer(master, caller, c.cfg.ControlMsgSize)
+	for _, a := range acc {
+		switch {
+		case repErr[a.idx] != nil:
+			out[a.idx].Err = repErr[a.idx]
+			undo(a.idx)
+		case ackErr != nil:
+			out[a.idx].Err = ackErr
+			undo(a.idx)
+		default:
+			out[a.idx].Version = a.meta.Version
+		}
+	}
+}
+
+// acceptedItem pairs a WriteMulti batch index with the metadata its
+// master assigned, for the replication fan-out.
+type acceptedItem struct {
+	idx  int
+	meta Meta
+}
+
+// replicateShare buffers one backup node's share of a WriteMulti batch:
+// one bulk transfer in, per-object RAM buffering, asynchronous disk
+// flushes, one ack back.
+func (c *Cluster) replicateShare(master, backup simnet.NodeID, items []WriteItem, share []acceptedItem, bytes int64) error {
+	bs := c.Server(backup)
+	if bs == nil {
+		return ErrNoSuchServer
+	}
+	env := c.env()
+	if err := c.net.TryTransfer(master, backup, bytes+c.cfg.ControlMsgSize); err != nil {
+		return err
+	}
+	env.Sleep(c.memCopyTime(bytes)) // buffer in backup RAM
+	bs.mu.Lock()
+	if bs.crashed {
+		bs.mu.Unlock()
+		return ErrCrashed
+	}
+	for _, a := range share {
+		it := items[a.idx]
+		bs.backups[it.Key] = replica{blob: it.Blob, meta: a.meta}
+	}
+	bs.mu.Unlock()
+	// Asynchronous disk flush, off the commit path (see Write).
+	for _, a := range share {
+		a := a
+		env.Go(func() {
+			it := items[a.idx]
+			bs.node.DiskWrite(it.Blob.Size)
+			bs.mu.Lock()
+			if cur, ok := bs.backups[it.Key]; ok && cur.meta.Version == a.meta.Version {
+				bs.disk[it.Key] = cur
+			}
+			bs.mu.Unlock()
+		})
+	}
+	return c.net.TryTransfer(backup, master, c.cfg.ControlMsgSize)
+}

@@ -31,11 +31,10 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	}
 
 	// Ship the payload to the master.
+	c.countServerRPC()
 	if err := c.net.TryTransfer(caller, p.master, blob.Size+c.cfg.ControlMsgSize); err != nil {
 		if !ok {
-			c.mu.Lock()
-			delete(c.places, key)
-			c.mu.Unlock()
+			c.placeDelete(key)
 		}
 		return 0, err
 	}
@@ -57,17 +56,12 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	}
 	if master.log.live+delta > master.limit {
 		master.mu.Unlock()
-		c.mu.Lock()
 		if !ok { // undo speculative placement of a brand-new object
-			delete(c.places, key)
+			c.placeDelete(key)
 		}
-		c.mu.Unlock()
 		return 0, ErrNoSpace
 	}
-	c.mu.Lock()
-	c.nextVer++
-	version = c.nextVer
-	c.mu.Unlock()
+	version = c.nextVer.Add(1)
 	now := env.Now()
 	var created sim.Time
 	var naccess int64
@@ -91,6 +85,11 @@ func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[st
 	}
 	master.writes++
 	master.mu.Unlock()
+	if ok && existed {
+		// Overwrite of an existing object: refresh the coordinator's
+		// size record so byte-weighted locality stays accurate.
+		c.placeUpdate(key, func(p placement) placement { p.size = blob.Size; return p })
+	}
 	if cleanedBytes > 0 {
 		env.Sleep(c.memCopyTime(cleanedBytes))
 	}
@@ -180,6 +179,7 @@ func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
 	}
 	env := c.env()
 	// Request to master.
+	c.countServerRPC()
 	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
 		return Blob{}, Meta{}, err
 	}
@@ -222,6 +222,7 @@ func (c *Cluster) Stat(caller simnet.NodeID, key string) (Meta, error) {
 	if s == nil {
 		return Meta{}, ErrNoSuchServer
 	}
+	c.countServerRPC()
 	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
 		return Meta{}, err
 	}
@@ -253,6 +254,7 @@ func (c *Cluster) SetTag(caller simnet.NodeID, key, tag, value string) error {
 	if s == nil {
 		return ErrNoSuchServer
 	}
+	c.countServerRPC()
 	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
 		return err
 	}
@@ -306,13 +308,12 @@ func (c *Cluster) Delete(caller simnet.NodeID, key string) error {
 	if !ok {
 		return ErrNotFound
 	}
+	c.countServerRPC()
 	if err := c.net.TryTransfer(caller, p.master, c.cfg.ControlMsgSize); err != nil {
 		return err
 	}
 	c.dropLocal(p, key)
-	c.mu.Lock()
-	delete(c.places, key)
-	c.mu.Unlock()
+	c.placeDelete(key)
 	if err := c.net.TryTransfer(p.master, caller, c.cfg.ControlMsgSize); err != nil {
 		return err
 	}
@@ -344,12 +345,7 @@ func (c *Cluster) dropLocal(p placement, key string) {
 // copy lives in the RSDS). It is a local decision of the cacheAgent;
 // only coordinator bookkeeping is charged.
 func (c *Cluster) Evict(key string) error {
-	c.mu.Lock()
-	p, ok := c.places[key]
-	if ok {
-		delete(c.places, key)
-	}
-	c.mu.Unlock()
+	p, ok := c.placeDelete(key)
 	if !ok {
 		return ErrNotFound
 	}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -41,11 +42,16 @@ func (h *Histogram) ensureSorted() {
 	}
 }
 
-// Quantile returns the q-th (0..1) order statistic, 0 when empty.
+// Quantile returns the q-th (0..1) order statistic, 0 when empty. It
+// uses ceiling nearest-rank (the smallest sample with at least a q
+// fraction of the distribution at or below it): rank ⌈q·n⌉. Plain
+// truncation would bias low for small n — e.g. p99 of 50 samples must
+// be the 50th value, not the 49th.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	n := len(h.samples)
+	if n == 0 {
 		return 0
 	}
 	h.ensureSorted()
@@ -53,11 +59,14 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return h.samples[0]
 	}
 	if q >= 1 {
-		return h.samples[len(h.samples)-1]
+		return h.samples[n-1]
 	}
-	idx := int(q * float64(len(h.samples)))
-	if idx >= len(h.samples) {
-		idx = len(h.samples) - 1
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
 	}
 	return h.samples[idx]
 }

@@ -385,6 +385,23 @@ func (s *Store) SetFeatures(key string, features map[string]float64) error {
 	return nil
 }
 
+// SetUserMeta rewrites one user-metadata entry of key in place — a
+// metadata-only POST: no payload moves and no version is created. The
+// cache-off passthrough backend uses it to store object tags.
+func (s *Store) SetUserMeta(key, name, value string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.objects[key]
+	if e == nil {
+		return ErrNotFound
+	}
+	if e.meta.UserMeta == nil {
+		e.meta.UserMeta = make(map[string]string)
+	}
+	e.meta.UserMeta[name] = value
+	return nil
+}
+
 // Features returns the feature sidecar of key, or nil.
 func (s *Store) Features(key string) map[string]float64 {
 	s.mu.Lock()

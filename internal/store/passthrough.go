@@ -1,0 +1,87 @@
+package store
+
+import (
+	"errors"
+	"math"
+
+	"ofc/internal/objstore"
+	"ofc/internal/simnet"
+)
+
+// Passthrough is the cache-off backend: every operation goes straight
+// to the RSDS. It turns the old "cache disabled" if-branches into a
+// Backend implementation — the proxy stack is identical, only the
+// engine differs. Writes are durable on ack (Durable), so the proxy
+// skips shadows and persistors; Evict is a no-op because nothing is
+// cached.
+type Passthrough struct {
+	rsds *objstore.Store
+}
+
+// NewPassthrough builds the direct-RSDS backend.
+func NewPassthrough(rsds *objstore.Store) *Passthrough {
+	return &Passthrough{rsds: rsds}
+}
+
+// DurableWrites implements Durable.
+func (p *Passthrough) DurableWrites() bool { return true }
+
+// RSDS exposes the underlying object store.
+func (p *Passthrough) RSDS() *objstore.Store { return p.rsds }
+
+// mapErr translates objstore sentinels to the store vocabulary.
+func mapErr(err error) error {
+	if errors.Is(err, objstore.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Read implements Backend.
+func (p *Passthrough) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
+	blob, m, err := p.rsds.Get(caller, key, false)
+	if err != nil {
+		return Blob{}, Meta{}, mapErr(err)
+	}
+	return blob, p.meta(m), nil
+}
+
+// meta converts the RSDS metadata to the cache-tier shape. The user
+// metadata doubles as the tag map, so tags written through this
+// backend round-trip.
+func (p *Passthrough) meta(m objstore.Meta) Meta {
+	return Meta{Size: m.Size, Version: m.PersistedVersion, Tags: m.UserMeta}
+}
+
+// Write implements Backend. The preferred node is ignored: the RSDS
+// has one location.
+func (p *Passthrough) Write(caller simnet.NodeID, key string, blob Blob, tags map[string]string, _ simnet.NodeID) (uint64, error) {
+	return p.rsds.Put(caller, key, blob, tags, false), nil
+}
+
+// Stat implements Backend.
+func (p *Passthrough) Stat(caller simnet.NodeID, key string) (Meta, error) {
+	m, err := p.rsds.Head(caller, key)
+	if err != nil {
+		return Meta{}, mapErr(err)
+	}
+	return p.meta(m), nil
+}
+
+// SetTag implements Backend by rewriting the object's user metadata in
+// place (a metadata-only POST; no payload moves, no version bump).
+func (p *Passthrough) SetTag(caller simnet.NodeID, key, tag, value string) error {
+	return mapErr(p.rsds.SetUserMeta(key, tag, value))
+}
+
+// Delete implements Backend.
+func (p *Passthrough) Delete(caller simnet.NodeID, key string) error {
+	return mapErr(p.rsds.Delete(caller, key, false))
+}
+
+// Evict implements Backend: nothing is cached, so there is nothing to
+// drop. Always succeeds.
+func (p *Passthrough) Evict(key string) error { return nil }
+
+// MaxObjectSize implements Backend: the RSDS takes any size.
+func (p *Passthrough) MaxObjectSize() int64 { return math.MaxInt64 }
