@@ -2,13 +2,14 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet bench bench-store repro scorecard clean
+.PHONY: all check build test race test-race vet lint bench bench-store repro scorecard clean
 
 all: check
 
-# The default gate: build, vet, full tests, then the race detector over
-# the concurrency-heavy packages (cache cluster, proxy/resilience, chaos).
-check: build vet test test-race
+# The default gate: build, vet, the determinism/correctness analyzers,
+# full tests, then the race detector over the concurrency-heavy
+# packages (cache cluster, proxy/resilience, chaos).
+check: build vet lint test test-race
 
 build:
 	$(GO) build ./...
@@ -24,6 +25,12 @@ test-race:
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific static analysis: wall-clock reads, global rand, sentinel
+# identity comparisons, blocking sim calls under mutexes, metric naming.
+# Exits non-zero on any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/ofc-lint ./...
 
 # One benchmark per table/figure, headline quantities as metrics.
 bench:

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"time"
@@ -15,6 +16,9 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "random seed for training and inputs")
+	flag.Parse()
+
 	const inputSize = 20 << 20
 
 	run := func(mode experiments.Mode) (e, t, l time.Duration, wall time.Duration) {
@@ -24,9 +28,9 @@ func main() {
 			d.Register(fn)
 		}
 		if d.Sys != nil {
-			pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rand.New(rand.NewSource(1)))
+			pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rand.New(rand.NewSource(*seed)))
 		}
-		rng := rand.New(rand.NewSource(1))
+		rng := rand.New(rand.NewSource(*seed))
 		pool := workload.NewInputPool(rng, "text", "corpus", []int64{inputSize}, 1)
 		d.Run(func() {
 			in := pool.Inputs[0]

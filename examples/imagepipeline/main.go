@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,14 +17,17 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "random seed for training and inputs")
+	flag.Parse()
+
 	d := experiments.NewDeployment(experiments.ModeOFC, experiments.DefaultDeploy())
 	pl := workload.NewImageProcessing(d.Suite, "studio", workload.ProfileNormal, 2<<30)
 	for _, fn := range pl.Funcs {
 		d.Register(fn)
 	}
-	pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rand.New(rand.NewSource(1)))
+	pl.Pretrain(d.Sys.Trainer, d.Store.Profile(), 250, rand.New(rand.NewSource(*seed)))
 
-	rng := rand.New(rand.NewSource(2))
+	rng := rand.New(rand.NewSource(*seed + 1))
 	pool := workload.NewInputPool(rng, "image", "shoot", []int64{512 << 10}, 1)
 
 	d.Run(func() {

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"time"
@@ -16,10 +17,13 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "random seed for inputs and arrival processes")
+	flag.Parse()
+
 	sys := ofc.NewSystem(ofc.DefaultOptions())
 	su := workload.NewSuite()
-	rng := rand.New(rand.NewSource(1))
-	fl := workload.NewFaaSLoad(sys.Env, sys.Platform, 42)
+	rng := rand.New(rand.NewSource(*seed))
+	fl := workload.NewFaaSLoad(sys.Env, sys.Platform, *seed+41)
 
 	names := []string{"wand_blur", "wand_sepia", "wand_edge", "wand_resize"}
 	pools := map[string]*workload.InputPool{}

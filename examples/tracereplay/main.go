@@ -44,6 +44,7 @@ const builtinTrace = `# burst 1
 
 func main() {
 	tracePath := flag.String("trace", "", "trace CSV (one offset in seconds per line); empty uses a built-in bursty trace")
+	seed := flag.Int64("seed", 1, "random seed for inputs and training")
 	flag.Parse()
 
 	var offsets []time.Duration
@@ -64,14 +65,14 @@ func main() {
 
 	sys := ofc.NewSystem(ofc.DefaultOptions())
 	su := workload.NewSuite()
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(*seed))
 	spec := ofc.SpecByName("wand_watermark")
 	fn := su.Build(spec, "trace", 0)
 	sys.Register(fn)
 	pool := workload.NewInputPool(rng, "image", "trace", []int64{32 << 10, 64 << 10}, 3)
 	sys.Trainer.Pretrain(fn, workload.TrainingSamples(spec, fn, pool, 300, rng, sys.RSDS.Profile()))
 
-	fl := workload.NewFaaSLoad(sys.Env, sys.Platform, 2)
+	fl := workload.NewFaaSLoad(sys.Env, sys.Platform, *seed+1)
 	fl.AddTraceTenant("trace", spec, fn, pool, offsets)
 
 	window := offsets[len(offsets)-1] + time.Minute

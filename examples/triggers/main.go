@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 	"time"
@@ -18,9 +19,12 @@ import (
 )
 
 func main() {
+	seed := flag.Int64("seed", 1, "random seed for inputs and feature extraction")
+	flag.Parse()
+
 	sys := ofc.NewSystem(ofc.DefaultOptions())
 	su := workload.NewSuite()
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(*seed))
 
 	spec := ofc.SpecByName("sharp_resize")
 	thumb := su.Build(spec, "studio", 0)
@@ -29,7 +33,7 @@ func main() {
 	sys.Trainer.Pretrain(thumb, workload.TrainingSamples(spec, thumb, pool, 300, rng, sys.RSDS.Profile()))
 
 	// The extractor stands in for decoding the uploaded image's header.
-	frng := rand.New(rand.NewSource(7))
+	frng := rand.New(rand.NewSource(*seed + 6))
 	triggers := core.NewTriggers(sys, func(key string, size int64) map[string]float64 {
 		f := workload.GenFeatures(frng, "image", size)
 		su.RegisterObject(key, f)

@@ -81,7 +81,7 @@ func TestInjectorAppliesOnVirtualClock(t *testing.T) {
 		for _, at := range []time.Duration{5, 15, 35, 55, 75} {
 			target := at * time.Millisecond
 			env.Sleep(target - time.Duration(env.Now()))
-			probes = append(probes, probe{target, net.TryTransfer(a, b, 1 << 10)})
+			probes = append(probes, probe{target, net.TryTransfer(a, b, 1<<10)})
 		}
 	})
 	env.Run()

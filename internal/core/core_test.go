@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -1008,7 +1009,7 @@ func TestReclaimFailureSurfaces(t *testing.T) {
 	sys.Run(func() {
 		res = sys.Platform.Invoke(&faas.Request{Function: fn})
 	})
-	if res.Err != faas.ErrNoCapacity {
+	if !errors.Is(res.Err, faas.ErrNoCapacity) {
 		t.Errorf("err=%v, want ErrNoCapacity", res.Err)
 	}
 }
@@ -1019,7 +1020,7 @@ func TestInvokeNilFunction(t *testing.T) {
 	sys.Run(func() {
 		res = sys.Platform.Invoke(&faas.Request{})
 	})
-	if res.Err != faas.ErrUnregistered {
+	if !errors.Is(res.Err, faas.ErrUnregistered) {
 		t.Errorf("err=%v", res.Err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"strconv"
 	"strings"
 	"sync"
@@ -240,7 +241,7 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 		rc.statsMu.Unlock()
 	}
 	// A stale persist means a newer version's persistor owns the key.
-	if perr == nil || perr == objstore.ErrStale {
+	if perr == nil || errors.Is(perr, objstore.ErrStale) {
 		rc.resolvePending(key)
 	}
 	return nil
@@ -503,7 +504,7 @@ func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
 		// Relaxed-mode object: no shadow was created; plain put.
 		rc.rsds.Put(node, key, blob, nil, false)
 	} else if perr := rc.rsds.PersistPayload(node, key, blob, version); perr != nil {
-		if perr == objstore.ErrStale {
+		if errors.Is(perr, objstore.ErrStale) {
 			// An equal or newer version is already persisted; the
 			// cached copy is effectively clean and must not overwrite
 			// the store.

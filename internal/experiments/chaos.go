@@ -25,7 +25,7 @@ type ChaosResult struct {
 	HealthyHit, FaultyHit float64
 	HealthyP99, FaultyP99 time.Duration
 
-	FallbackReads, FallbackWrites           int64
+	FallbackReads, FallbackWrites             int64
 	CacheRetries, CacheTimeouts, BreakerTrips int64
 
 	Recoveries   int64

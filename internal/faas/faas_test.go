@@ -1,6 +1,8 @@
 package faas
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -285,7 +287,7 @@ func TestNoCapacityFailsEventually(t *testing.T) {
 	var res *Result
 	tb.env.Go(func() { res = tb.p.Invoke(&Request{Function: fn}) })
 	tb.env.Run()
-	if res.Err != ErrNoCapacity {
+	if !errors.Is(res.Err, ErrNoCapacity) {
 		t.Errorf("err=%v", res.Err)
 	}
 }
@@ -770,4 +772,46 @@ func TestInvokeAsync(t *testing.T) {
 		}
 	})
 	tb.env.Run()
+}
+
+// TestOOMRetrySeesWrappedErrors is the regression test for the
+// wrapped-sentinel bug: user function bodies (and middleware such as
+// the store's Resilient layer) wrap platform errors with %w before
+// returning them, and the controller's OOM-retry path must still
+// recognize ErrOOM through the wrapping. Before the errors.Is fix in
+// Invoke/execute, a wrapped ErrOOM skipped the §5.3 retry entirely and
+// surfaced as a failed invocation.
+func TestOOMRetrySeesWrappedErrors(t *testing.T) {
+	tb := newTestbed(1, 8<<30)
+	fn := &Function{
+		Name: "wrapper", Tenant: "t", MemoryBooked: 512 << 20, InputType: "none",
+		Body: func(ctx *Ctx) error {
+			if err := ctx.Transform(50*time.Millisecond, 300<<20); err != nil {
+				return fmt.Errorf("transform stage: %w", err)
+			}
+			return nil
+		},
+	}
+	tb.p.Register(fn)
+	// Advisor underpredicts badly, so the first attempt OOMs.
+	tb.p.Advisor = advisorFunc(func(req *Request) Advice {
+		return Advice{Mem: 128 << 20, ShouldCache: false, Use: true}
+	})
+	var res *Result
+	tb.env.Go(func() {
+		res = tb.p.Invoke(&Request{Function: fn})
+	})
+	tb.env.Run()
+	if res.Err != nil {
+		t.Fatalf("wrapped ErrOOM was not retried at booked memory: %v", res.Err)
+	}
+	if !res.Retried {
+		t.Error("invocation not marked retried")
+	}
+	if res.SandboxMem != 512<<20 {
+		t.Errorf("retry sandbox mem=%d, want booked 512MB", res.SandboxMem)
+	}
+	if st := tb.p.Stats(); st.OOMKills != 1 || st.Retries != 1 || st.Failures != 0 {
+		t.Errorf("stats=%+v, want exactly one OOM kill and one retry", st)
+	}
 }

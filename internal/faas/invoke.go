@@ -1,6 +1,7 @@
 package faas
 
 import (
+	"errors"
 	"time"
 
 	"ofc/internal/sim"
@@ -47,7 +48,7 @@ func (p *Platform) Invoke(req *Request) *Result {
 	}
 
 	attempt := p.execute(req, wanted, res)
-	if attempt == ErrOOM {
+	if errors.Is(attempt, ErrOOM) {
 		// §5.3: immediate retry with the tenant-booked memory.
 		p.stats.mu.Lock()
 		p.stats.OOMKills++
@@ -60,7 +61,7 @@ func (p *Platform) Invoke(req *Request) *Result {
 	// A worker dying mid-run loses the activation; the controller
 	// resubmits on a surviving node, bounded so a collapsing cluster
 	// still terminates.
-	for rr := 0; attempt == ErrInvokerDown && rr < 3; rr++ {
+	for rr := 0; errors.Is(attempt, ErrInvokerDown) && rr < 3; rr++ {
 		p.stats.mu.Lock()
 		p.stats.Reroutes++
 		p.stats.mu.Unlock()
@@ -136,7 +137,7 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 		p.stats.mu.Unlock()
 	}
 
-	if err == ErrOOM {
+	if errors.Is(err, ErrOOM) {
 		// The OOM killer took the container down with the invocation.
 		inv.destroySandbox(sb)
 		return ErrOOM

@@ -1,6 +1,7 @@
 package imoc
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -26,7 +27,7 @@ func TestSetGetDel(t *testing.T) {
 			t.Errorf("get: %v %q", err, blob.Data)
 		}
 		c.Del(0, "k")
-		if _, err := c.Get(0, "k"); err != ErrNotFound {
+		if _, err := c.Get(0, "k"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("get after del: %v", err)
 		}
 	})

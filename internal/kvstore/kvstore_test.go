@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -103,10 +104,10 @@ func TestReadUpdatesAccessStats(t *testing.T) {
 
 func TestNotFound(t *testing.T) {
 	run(t, func(env *sim.Env, c *Cluster) {
-		if _, _, err := c.Read(1, "missing"); err != ErrNotFound {
+		if _, _, err := c.Read(1, "missing"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("err=%v", err)
 		}
-		if err := c.Delete(1, "missing"); err != ErrNotFound {
+		if err := c.Delete(1, "missing"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("delete err=%v", err)
 		}
 	})
@@ -114,7 +115,7 @@ func TestNotFound(t *testing.T) {
 
 func TestTooLarge(t *testing.T) {
 	run(t, func(env *sim.Env, c *Cluster) {
-		if _, err := c.Write(1, "big", Synthetic(11<<20), nil, 1); err != ErrTooLarge {
+		if _, err := c.Write(1, "big", Synthetic(11<<20), nil, 1); !errors.Is(err, ErrTooLarge) {
 			t.Errorf("err=%v", err)
 		}
 	})
@@ -133,7 +134,7 @@ func TestNoSpace(t *testing.T) {
 				t.Fatalf("fill write %d: %v", i, err)
 			}
 		}
-		if _, err := c.Write(1, "b", Synthetic(900<<10), nil, 1); err != ErrNoSpace {
+		if _, err := c.Write(1, "b", Synthetic(900<<10), nil, 1); !errors.Is(err, ErrNoSpace) {
 			t.Errorf("err=%v, want ErrNoSpace", err)
 		}
 	})
@@ -153,7 +154,7 @@ func TestDeleteFreesMemory(t *testing.T) {
 		if used != 0 {
 			t.Errorf("used=%d after delete", used)
 		}
-		if _, _, err := c.Read(1, "k"); err != ErrNotFound {
+		if _, _, err := c.Read(1, "k"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("read after delete: %v", err)
 		}
 	})
@@ -165,7 +166,7 @@ func TestEvict(t *testing.T) {
 		if err := c.Evict("k"); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := c.Read(1, "k"); err != ErrNotFound {
+		if _, _, err := c.Read(1, "k"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("read after evict: %v", err)
 		}
 		used, _ := c.Server(1).Usage()
@@ -295,7 +296,7 @@ func TestCrashRecovery(t *testing.T) {
 			}
 		}
 		c.Crash(1)
-		if _, _, err := c.Read(2, "a"); err != ErrCrashed {
+		if _, _, err := c.Read(2, "a"); !errors.Is(err, ErrCrashed) {
 			t.Fatalf("read from crashed master: %v", err)
 		}
 		n := c.RecoverNode(1)
@@ -516,7 +517,7 @@ func TestMigrateToBackupNeedsRoomAtDest(t *testing.T) {
 				c.SetMemoryLimit(i, 0)
 			}
 		}
-		if err := c.MigrateToBackup("k"); err != ErrNotEnoughSrvs {
+		if err := c.MigrateToBackup("k"); !errors.Is(err, ErrNotEnoughSrvs) {
 			t.Errorf("err=%v, want ErrNotEnoughSrvs", err)
 		}
 	})

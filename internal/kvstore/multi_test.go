@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -37,7 +38,7 @@ func TestReadMultiRoundTrip(t *testing.T) {
 				t.Fatalf("key %s: NAccess %d, want 1", keys[i], res[i].Meta.NAccess)
 			}
 		}
-		if res[12].Err != ErrNotFound {
+		if !errors.Is(res[12].Err, ErrNotFound) {
 			t.Fatalf("missing key: err %v, want ErrNotFound", res[12].Err)
 		}
 	})
@@ -171,7 +172,7 @@ func TestWriteMultiOverwriteAndNoSpace(t *testing.T) {
 		if res[0].Err != nil || res[1].Err != nil {
 			t.Fatalf("good items failed: %v %v", res[0].Err, res[1].Err)
 		}
-		if res[2].Err != ErrTooLarge {
+		if !errors.Is(res[2].Err, ErrTooLarge) {
 			t.Fatalf("oversized item: err %v, want ErrTooLarge", res[2].Err)
 		}
 		if _, ok := c.MasterOf("obj/huge"); ok {

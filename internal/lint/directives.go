@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"strings"
+)
+
+// Suppression directives.
+//
+// A finding is suppressed by a comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed either on the same line as the flagged code (trailing
+// comment) or on the line directly above it. The reason is mandatory:
+// a suppression without a stated justification is itself reported as a
+// `directive` finding, so the gate cannot be silenced silently.
+
+// directiveAnalyzer names the pseudo-analyzer used for malformed
+// //lint: comments. It is not suppressible via //lint:allow.
+const directiveAnalyzer = "directive"
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type suppressor struct {
+	allowed   map[allowKey]bool
+	malformed []Finding
+}
+
+func newSuppressor() *suppressor {
+	return &suppressor{allowed: map[allowKey]bool{}}
+}
+
+// scan collects every //lint: directive in the package.
+func (s *suppressor) scan(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				verb, rest, _ := strings.Cut(text, " ")
+				if verb != "allow" {
+					s.malformed = append(s.malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: directiveAnalyzer,
+						Message:  "unknown lint directive //lint:" + verb + " (only //lint:allow <analyzer> <reason> is recognized)",
+					})
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: directiveAnalyzer,
+						Message:  "malformed //lint:allow: want //lint:allow <analyzer> <reason>",
+					})
+					continue
+				}
+				if !knownAnalyzer(name) {
+					s.malformed = append(s.malformed, Finding{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Analyzer: directiveAnalyzer,
+						Message:  "//lint:allow names unknown analyzer " + name,
+					})
+					continue
+				}
+				s.allowed[allowKey{pos.Filename, pos.Line, name}] = true
+			}
+		}
+	}
+}
+
+// allows reports whether a directive on the finding's line or the line
+// above covers it. Directive findings themselves can't be allowed.
+func (s *suppressor) allows(f Finding) bool {
+	if f.Analyzer == directiveAnalyzer {
+		return false
+	}
+	return s.allowed[allowKey{f.File, f.Line, f.Analyzer}] ||
+		s.allowed[allowKey{f.File, f.Line - 1, f.Analyzer}]
+}
+
+func knownAnalyzer(name string) bool {
+	for _, a := range All() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// MetricsName checks counter names passed to internal/metrics. Names
+// must be lowerCamel ("cacheHits", not "cache_hits" or "CacheHits"),
+// non-empty, and unambiguous within a package: two spellings that
+// differ only in case ("cacheHits" vs "cachehits") silently register
+// two distinct counters and split the count — a typo-shaped bug no
+// test catches because both counters "work".
+var MetricsName = &Analyzer{
+	Name: "metricsname",
+	Doc:  "metric names passed to internal/metrics must be lowerCamel and unique (case-insensitively) per package",
+	Run:  runMetricsName,
+}
+
+// metricsNameMethods are the name-keyed entry points of the metrics
+// package.
+var metricsNameMethods = map[string]bool{"Inc": true, "Get": true}
+
+func runMetricsName(p *Pass) error {
+	type spelling struct {
+		name string
+		pos  ast.Expr
+	}
+	seen := map[string][]spelling{} // lowercase -> distinct spellings
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), "internal/metrics") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || !metricsNameMethods[fn.Name()] {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				return true // dynamic names can't be checked statically
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !isLowerCamel(name) {
+				p.Reportf(lit.Pos(), "metric name %q is not lowerCamel (want e.g. %q)", name, lowerCamelHint(name))
+			}
+			lower := strings.ToLower(name)
+			group := seen[lower]
+			dup := false
+			for _, s := range group {
+				if s.name == name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seen[lower] = append(group, spelling{name, call.Args[0]})
+			}
+			return true
+		})
+	}
+	for _, group := range seen {
+		if len(group) < 2 {
+			continue
+		}
+		var names []string
+		for _, s := range group {
+			names = append(names, strconv.Quote(s.name))
+		}
+		for _, s := range group {
+			p.Reportf(s.pos.Pos(), "ambiguous metric name: %s register distinct counters that differ only in case", strings.Join(names, " vs "))
+		}
+	}
+	return nil
+}
+
+// isLowerCamel accepts a leading lowercase letter followed by letters
+// and digits only.
+func isLowerCamel(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] < 'a' || s[0] > 'z' {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lowerCamelHint converts a name to a plausible lowerCamel spelling
+// for the diagnostic.
+func lowerCamelHint(s string) string {
+	var b strings.Builder
+	upperNext := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || c == '-' || c == '.' || c == ' ':
+			upperNext = b.Len() > 0
+		case c >= 'A' && c <= 'Z' && b.Len() == 0:
+			b.WriteByte(c - 'A' + 'a')
+		case upperNext && c >= 'a' && c <= 'z':
+			b.WriteByte(c - 'a' + 'A')
+			upperNext = false
+		default:
+			b.WriteByte(c)
+			upperNext = false
+		}
+	}
+	if b.Len() == 0 {
+		return "metricName"
+	}
+	return b.String()
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand forbids the global math/rand convenience functions
+// (rand.Intn, rand.Float64, rand.Seed, ...). They draw from a single
+// process-wide generator, so any code path that touches them makes
+// every downstream random stream depend on call order across the whole
+// binary — the exact opposite of the seed-threaded reproducibility the
+// experiments promise. Constructing private generators with
+// rand.New(rand.NewSource(seed)) (or sim.Env.NewRand) stays legal.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "forbid global math/rand functions; thread rand.New(rand.NewSource(seed)) from configs instead",
+	Run:  runSeededRand,
+}
+
+// seededRandAllowed are the math/rand package-level functions that
+// build explicit generators rather than consuming the global one.
+var seededRandAllowed = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runSeededRand(p *Pass) error {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || seededRandAllowed[fn.Name()] {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // methods on an explicit *rand.Rand are the blessed pattern
+			}
+			if fn.Name() == "Seed" {
+				p.Reportf(sel.Pos(), "rand.Seed reseeds the process-global generator; construct rand.New(rand.NewSource(seed)) and thread it instead")
+			} else {
+				p.Reportf(sel.Pos(), "global rand.%s draws from process-wide state and breaks seed-threaded reproducibility; use a local rand.New(rand.NewSource(seed))", fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean runs the full analyzer suite over the repository
+// itself and requires zero unsuppressed findings — the same gate
+// `make lint` enforces. If this test fails, either fix the flagged
+// code or add a `//lint:allow <analyzer> <reason>` with a real
+// justification.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: repo-wide type-check is a few seconds")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("not in a module")
+	}
+	root := gomod[:strings.LastIndex(gomod, string(os.PathSeparator))]
+
+	pkgs, err := NewLoader().LoadPatterns(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("only %d packages loaded from %s; pattern broken?", len(pkgs), root)
+	}
+	findings, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range Unsuppressed(findings) {
+		t.Errorf("%s", f)
+	}
+	// Suppressions must stay rare and justified; if this count grows,
+	// review whether the invariant or the code should change.
+	if n := len(findings) - len(Unsuppressed(findings)); n > 8 {
+		t.Errorf("%d suppressed findings repo-wide; expected a handful", n)
+	}
+}

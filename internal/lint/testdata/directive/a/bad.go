@@ -1,0 +1,16 @@
+package dirfake
+
+// Each of these broken directives must itself be reported.
+
+//lint:bogus nothing
+var x = 1
+
+func f() int {
+	return x
+}
+
+//lint:allow wallclock
+func g() {}
+
+//lint:allow notananalyzer some reason here
+func h() {}

@@ -1,0 +1,19 @@
+package lockfake
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+type allowSrv struct {
+	mu  sync.Mutex
+	env *sim.Env
+}
+
+func (s *allowSrv) allowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.env.Sleep(time.Millisecond) //lint:allow lockedrpc single-process setup code; no other process touches this lock yet
+}

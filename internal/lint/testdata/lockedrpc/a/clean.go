@@ -1,0 +1,42 @@
+package lockfake
+
+import (
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+type cleanSrv struct {
+	mu  sync.Mutex
+	env *sim.Env
+}
+
+// Snapshot under the lock, block after releasing it — the idiom the
+// analyzer wants.
+func (s *cleanSrv) snapshotThenSleep() {
+	s.mu.Lock()
+	d := time.Millisecond
+	s.mu.Unlock()
+	s.env.Sleep(d)
+}
+
+// A process spawned under the lock starts unlocked: its body runs on
+// its own goroutine after the spawner releases.
+func (s *cleanSrv) spawnUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.env.Go(func() { s.env.Sleep(time.Millisecond) })
+}
+
+// Both paths release before blocking.
+func (s *cleanSrv) branchesRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		s.env.Sleep(time.Millisecond)
+		return
+	}
+	s.mu.Unlock()
+	s.env.Sleep(time.Millisecond)
+}

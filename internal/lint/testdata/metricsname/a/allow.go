@@ -1,0 +1,7 @@
+package mfake
+
+import "ofc/internal/metrics"
+
+func allowed(c *metrics.Counters) {
+	c.Inc("legacy_name", 1) //lint:allow metricsname preserved verbatim for external dashboard compatibility
+}

@@ -1,0 +1,12 @@
+package mfake
+
+import "ofc/internal/metrics"
+
+func clean(c *metrics.Counters) int64 {
+	c.Inc("cacheHits", 1)
+	c.Inc("cacheHits", 1) // the same spelling from many sites is one counter: fine
+	c.Inc("p99Violations2xx", 1)
+	name := "dyn" + "amic"
+	c.Inc(name, 1) // dynamic names are out of static reach
+	return c.Get("cacheHits")
+}

@@ -1,0 +1,11 @@
+package mfake
+
+import "ofc/internal/metrics"
+
+func bad(c *metrics.Counters) int64 {
+	c.Inc("cache_hits", 1)   // want "metric name .cache_hits. is not lowerCamel"
+	c.Inc("CacheMisses", 1)  // want "metric name .CacheMisses. is not lowerCamel"
+	c.Inc("readOps", 1)      // want "ambiguous metric name"
+	c.Inc("readops", 1)      // want "ambiguous metric name"
+	return c.Get("bad name") // want "metric name .bad name. is not lowerCamel"
+}

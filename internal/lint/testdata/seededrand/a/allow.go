@@ -1,0 +1,9 @@
+package randfake
+
+import "math/rand"
+
+// A directive on the line above the finding also suppresses it.
+func allowed() int {
+	//lint:allow seededrand nonce generation where reproducibility is explicitly unwanted
+	return rand.Int()
+}

@@ -1,0 +1,13 @@
+package randfake
+
+import "math/rand"
+
+// Explicitly seeded private generators are the blessed pattern:
+// rand.New/NewSource/NewZipf construct streams, methods on *rand.Rand
+// consume them.
+func clean(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.2, 1, 100)
+	rng.Shuffle(3, func(i, j int) {})
+	return rng.Float64() + float64(z.Uint64()) + float64(rng.Intn(10))
+}

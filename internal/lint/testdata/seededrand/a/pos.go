@@ -1,0 +1,12 @@
+package randfake
+
+import "math/rand"
+
+func bad() float64 {
+	rand.Seed(42)          // want "rand.Seed reseeds the process-global generator"
+	if rand.Intn(2) == 0 { // want "global rand.Intn draws from process-wide state"
+		return rand.Float64() // want "global rand.Float64 draws from process-wide state"
+	}
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle draws from process-wide state"
+	return rand.ExpFloat64()           // want "global rand.ExpFloat64 draws from process-wide state"
+}

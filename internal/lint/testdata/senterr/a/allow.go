@@ -1,0 +1,5 @@
+package errfake
+
+func allowed(err error) bool {
+	return err == ErrGone //lint:allow senterr this API contractually returns the sentinel unwrapped
+}

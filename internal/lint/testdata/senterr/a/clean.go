@@ -1,0 +1,22 @@
+package errfake
+
+import "errors"
+
+// errLocal is unexported and not Err-prefixed-exported, so comparing
+// it by identity is out of scope; nil checks and errors.Is are the
+// idiomatic forms the analyzer wants.
+var errLocal = errors.New("local")
+
+func clean(err error) bool {
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, ErrGone) || errors.Is(err, ErrBusy) {
+		return true
+	}
+	var prev error
+	if err == prev || err == errLocal {
+		return false
+	}
+	return ErrGone != nil // sentinel vs nil is an identity check by design
+}

@@ -1,0 +1,24 @@
+package errfake
+
+import "errors"
+
+var (
+	ErrGone = errors.New("gone")
+	ErrBusy = errors.New("busy")
+)
+
+func bad(err error) int {
+	if err == ErrGone { // want "identity comparison with sentinel ErrGone"
+		return 1
+	}
+	if ErrBusy != err { // want "identity comparison with sentinel ErrBusy"
+		return 2
+	}
+	switch err {
+	case ErrGone: // want "switch on an error compares sentinel ErrGone"
+		return 3
+	case nil:
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,13 @@
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+// Command binaries report host wall time by design; the wallclock
+// invariant only binds code under internal/.
+func main() {
+	start := time.Now()
+	fmt.Println(time.Since(start))
+}

@@ -1,0 +1,9 @@
+package simfake
+
+import "time"
+
+// A justified host-clock read carries a suppression directive with a
+// mandatory reason.
+func hostNow() time.Time {
+	return time.Now() //lint:allow wallclock this measures real host latency of a non-simulated algorithm
+}

@@ -1,0 +1,10 @@
+package simfake
+
+import "time"
+
+// _test.go files are allowlisted: tests legitimately measure host
+// time (e.g. benchmark-style assertions).
+func hostElapsed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,13 @@
+package simfake
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond)        // want "time.Sleep reads the host clock"
+	t := time.Now()                     // want "time.Now reads the host clock"
+	_ = time.Since(t)                   // want "time.Since reads the host clock"
+	<-time.After(time.Second)           // want "time.After reads the host clock"
+	tick := time.NewTicker(time.Second) // want "time.NewTicker reads the host clock"
+	tick.Stop()
+	return time.Now() // want "time.Now reads the host clock"
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Wallclock forbids host-clock reads inside simulation code. Every
+// experiment result in this repo is only reproducible because all of
+// internal/ runs on the sim.Env virtual clock; one stray time.Now or
+// time.Sleep silently couples a metric to host scheduling. cmd/,
+// examples/ and _test.go files are allowlisted (drivers legitimately
+// measure host time); genuine host-time measurements inside internal/
+// carry a //lint:allow wallclock directive with the justification.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid host-clock time.Now/Sleep/After/... inside internal/ simulation code; use the sim.Env virtual clock",
+	Run:  runWallclock,
+}
+
+// wallclockBanned are the time functions that read or wait on the host
+// clock. Pure constructors/arithmetic (time.Duration, ParseDuration,
+// Unix) are fine: they don't observe the wall clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runWallclock(p *Pass) error {
+	if !strings.Contains("/"+p.Path(), "/internal/") {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockBanned[fn.Name()] {
+				return true
+			}
+			p.Reportf(sel.Pos(), "time.%s reads the host clock inside simulation code; use the sim.Env virtual clock (env.Now/env.Sleep/env.After)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package objstore
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -99,14 +100,14 @@ func TestPersistOrderEnforced(t *testing.T) {
 			t.Fatalf("persist v2: %v", err)
 		}
 		// Persisting v2 again (or anything below persisted) is stale.
-		if err := s.PersistPayload(0, "k", kvstore.Synthetic(100), v2-1); err != ErrStale {
+		if err := s.PersistPayload(0, "k", kvstore.Synthetic(100), v2-1); !errors.Is(err, ErrStale) {
 			t.Errorf("stale persist err=%v", err)
 		}
 		if err := s.PersistPayload(0, "k", kvstore.Synthetic(100), v3); err != nil {
 			t.Fatalf("persist v3: %v", err)
 		}
 		// A version the store never issued is rejected.
-		if err := s.PersistPayload(0, "k", kvstore.Synthetic(100), v3+5); err != ErrStale {
+		if err := s.PersistPayload(0, "k", kvstore.Synthetic(100), v3+5); !errors.Is(err, ErrStale) {
 			t.Errorf("future persist err=%v", err)
 		}
 	})
@@ -189,7 +190,7 @@ func TestHeadAndList(t *testing.T) {
 		if err != nil || m.Size != 6 {
 			t.Errorf("head: %v %+v", err, m)
 		}
-		if _, err := s.Head(0, "nope"); err != ErrNotFound {
+		if _, err := s.Head(0, "nope"); !errors.Is(err, ErrNotFound) {
 			t.Errorf("head missing: %v", err)
 		}
 		keys := s.List("b/")
@@ -227,10 +228,10 @@ func TestDelete(t *testing.T) {
 		if err := s.Delete(0, "k", false); err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := s.Get(0, "k", false); err != ErrNotFound {
+		if _, _, err := s.Get(0, "k", false); !errors.Is(err, ErrNotFound) {
 			t.Errorf("get after delete: %v", err)
 		}
-		if err := s.Delete(0, "k", false); err != ErrNotFound {
+		if err := s.Delete(0, "k", false); !errors.Is(err, ErrNotFound) {
 			t.Errorf("double delete: %v", err)
 		}
 	})

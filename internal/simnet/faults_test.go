@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -13,7 +14,7 @@ func TestPartitionBlocksTransferUntilHeal(t *testing.T) {
 	env.Go(func() {
 		n.Partition(a.ID, b.ID)
 		start := env.Now()
-		if err := n.TryTransfer(a.ID, b.ID, 1<<10); err != ErrUnreachable {
+		if err := n.TryTransfer(a.ID, b.ID, 1<<10); !errors.Is(err, ErrUnreachable) {
 			t.Errorf("err=%v, want ErrUnreachable", err)
 		}
 		// The sender pays the failure-detection delay, not zero time.
@@ -21,7 +22,7 @@ func TestPartitionBlocksTransferUntilHeal(t *testing.T) {
 			t.Errorf("detection took %v, want %v", took, n.failureDetectDelay())
 		}
 		// Symmetric: the reverse direction is cut too.
-		if err := n.TryTransfer(b.ID, a.ID, 1<<10); err != ErrUnreachable {
+		if err := n.TryTransfer(b.ID, a.ID, 1<<10); !errors.Is(err, ErrUnreachable) {
 			t.Errorf("reverse err=%v", err)
 		}
 		n.Heal(a.ID, b.ID)
@@ -41,10 +42,10 @@ func TestNodeDownUnreachableBothWays(t *testing.T) {
 		if !n.NodeDown(b.ID) {
 			t.Error("NodeDown=false after SetNodeDown")
 		}
-		if err := n.TryTransfer(a.ID, b.ID, 1<<10); err != ErrUnreachable {
+		if err := n.TryTransfer(a.ID, b.ID, 1<<10); !errors.Is(err, ErrUnreachable) {
 			t.Errorf("to dead node: %v", err)
 		}
-		if err := n.TryTransfer(b.ID, a.ID, 1<<10); err != ErrUnreachable {
+		if err := n.TryTransfer(b.ID, a.ID, 1<<10); !errors.Is(err, ErrUnreachable) {
 			t.Errorf("from dead node: %v", err)
 		}
 		// Unrelated links keep working.
@@ -183,7 +184,7 @@ func TestTryCallUnreachable(t *testing.T) {
 	env.Go(func() {
 		n.SetNodeDown(b.ID, true)
 		_, err := TryCall(n, a.ID, b.ID, 128, 128, func() int { return 42 })
-		if err != ErrUnreachable {
+		if !errors.Is(err, ErrUnreachable) {
 			t.Errorf("err=%v, want ErrUnreachable", err)
 		}
 		n.SetNodeDown(b.ID, false)

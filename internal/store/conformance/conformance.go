@@ -7,6 +7,7 @@
 package conformance
 
 import (
+	"errors"
 	"testing"
 
 	"ofc/internal/sim"
@@ -82,13 +83,13 @@ func testRoundTrip(t *testing.T, env *sim.Env, b store.Backend, caller simnet.No
 }
 
 func testMissingKey(t *testing.T, env *sim.Env, b store.Backend, caller simnet.NodeID) {
-	if _, _, err := b.Read(caller, "c/none"); err != store.ErrNotFound {
+	if _, _, err := b.Read(caller, "c/none"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("read missing: err %v, want ErrNotFound", err)
 	}
-	if _, err := b.Stat(caller, "c/none"); err != store.ErrNotFound {
+	if _, err := b.Stat(caller, "c/none"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("stat missing: err %v, want ErrNotFound", err)
 	}
-	if err := b.Delete(caller, "c/none"); err != store.ErrNotFound {
+	if err := b.Delete(caller, "c/none"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("delete missing: err %v, want ErrNotFound", err)
 	}
 }
@@ -128,7 +129,7 @@ func testDelete(t *testing.T, env *sim.Env, b store.Backend, caller simnet.NodeI
 	if err := b.Delete(caller, "c/d"); err != nil {
 		t.Fatalf("delete: %v", err)
 	}
-	if _, _, err := b.Read(caller, "c/d"); err != store.ErrNotFound {
+	if _, _, err := b.Read(caller, "c/d"); !errors.Is(err, store.ErrNotFound) {
 		t.Fatalf("read after delete: err %v, want ErrNotFound", err)
 	}
 }
@@ -140,7 +141,7 @@ func testEvict(t *testing.T, env *sim.Env, b store.Backend, caller simnet.NodeID
 	}
 	_, _, err := b.Read(caller, "c/e")
 	if traits.CacheTier {
-		if err != store.ErrNotFound {
+		if !errors.Is(err, store.ErrNotFound) {
 			t.Fatalf("cache tier: read after evict err %v, want ErrNotFound", err)
 		}
 	} else if err != nil {
@@ -162,7 +163,7 @@ func testBatchRead(t *testing.T, env *sim.Env, b store.Backend, caller simnet.No
 			t.Fatalf("batch key %d: %v size %d", i, res[i].Err, res[i].Blob.Size)
 		}
 	}
-	if res[3].Err != store.ErrNotFound {
+	if !errors.Is(res[3].Err, store.ErrNotFound) {
 		t.Fatalf("batch missing key: err %v, want ErrNotFound", res[3].Err)
 	}
 }

@@ -1,6 +1,7 @@
 package store_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -154,7 +155,7 @@ func TestResilientBreaker(t *testing.T) {
 		if _, open := res.BreakerState(master); !open {
 			t.Fatal("breaker did not open after threshold failures")
 		}
-		if _, _, err := res.Read(caller, "k"); err != store.ErrBreakerOpen {
+		if _, _, err := res.Read(caller, "k"); !errors.Is(err, store.ErrBreakerOpen) {
 			t.Fatalf("open breaker: err %v, want ErrBreakerOpen", err)
 		}
 		if res.Stats().BreakerTrips != 1 {
