@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint bench bench-store repro scorecard clean
+.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard clean
 
 all: check
 
@@ -21,7 +21,7 @@ race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/kvstore/... ./internal/store/... ./internal/core/... ./internal/chaos/...
+	$(GO) test -race ./internal/sim/... ./internal/kvstore/... ./internal/store/... ./internal/core/... ./internal/chaos/...
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +40,20 @@ bench:
 # parallel clients, and batched vs per-key multi-reads.
 bench-store:
 	$(GO) test -bench 'BenchmarkCoordinator|BenchmarkReadMulti' -benchmem -cpu 8 -run '^$$' ./internal/kvstore/
+
+# Scheduler/data-plane micro-benchmarks (CI smoke: -benchtime 1x keeps
+# it to one iteration per benchmark; drop BENCHTIME for real numbers).
+BENCHTIME ?= 1x
+bench-sim:
+	$(GO) test -bench 'Sleep|After|Batch|Future|Queue|Cluster|ReadMulti|Transfer' -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/sim/ ./internal/simnet/ ./internal/kvstore/
+
+# Regenerate the committed perf snapshot (quick sweep + micro benches).
+bench-baseline:
+	$(GO) run ./cmd/ofc-bench -exp all -quick -benchout BENCH_sim.json
+
+# Compare two perf snapshots: make benchdiff OLD=BENCH_sim.json NEW=new.json
+benchdiff:
+	$(GO) run ./scripts $(OLD) $(NEW)
 
 # Regenerate every table and figure of the paper's evaluation.
 repro:

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+// BenchEntry is one micro-benchmark in the perf snapshot.
+type BenchEntry struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	BytesPerOp   float64 `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// ExpEntry records one experiment's host wall-clock time.
+type ExpEntry struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+// BenchFile is the BENCH_sim.json schema: scheduler micro-benchmarks
+// plus per-experiment wall-clock, the perf trajectory future changes
+// regress against via scripts/benchdiff.go.
+type BenchFile struct {
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Micro       []BenchEntry `json:"micro"`
+	Experiments []ExpEntry   `json:"experiments"`
+	TotalWallMs float64      `json:"total_wall_ms"`
+}
+
+// writeBenchFile runs the scheduler micro-benchmarks and writes the
+// snapshot alongside the per-experiment wall-clock numbers.
+func writeBenchFile(path string, exps []ExpEntry, total time.Duration) error {
+	f := BenchFile{
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Micro:       microBenchmarks(),
+		Experiments: exps,
+		TotalWallMs: float64(total.Microseconds()) / 1e3,
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// microBenchmarks exercises the scheduler hot paths through
+// testing.Benchmark, reporting allocation rates and event throughput.
+func microBenchmarks() []BenchEntry {
+	var out []BenchEntry
+	add := func(name string, env **sim.Env, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		e := BenchEntry{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			BytesPerOp:  float64(r.AllocedBytesPerOp()),
+		}
+		if env != nil && *env != nil && r.T > 0 {
+			e.EventsPerSec = float64((*env).Events()) / r.T.Seconds()
+		}
+		out = append(out, e)
+	}
+
+	var env *sim.Env
+	add("SleepEvent", &env, func(b *testing.B) {
+		b.ReportAllocs()
+		env = sim.NewEnv(1)
+		env.Go(func() {
+			for i := 0; i < b.N; i++ {
+				env.Sleep(time.Microsecond)
+			}
+		})
+		b.ResetTimer()
+		env.Run()
+	})
+
+	add("AfterCallback", &env, func(b *testing.B) {
+		b.ReportAllocs()
+		env = sim.NewEnv(1)
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < b.N {
+				env.After(time.Microsecond, tick)
+			}
+		}
+		env.After(time.Microsecond, tick)
+		b.ResetTimer()
+		env.Run()
+	})
+
+	add("BatchWakeup", &env, func(b *testing.B) {
+		b.ReportAllocs()
+		env = sim.NewEnv(1)
+		e := env
+		const fan = 64
+		rounds := b.N/fan + 1
+		for i := 0; i < fan; i++ {
+			e.Go(func() {
+				for r := 0; r < rounds; r++ {
+					e.Sleep(time.Microsecond)
+				}
+			})
+		}
+		b.ResetTimer()
+		e.Run()
+	})
+
+	add("FutureRoundTrip", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		e := sim.NewEnv(1)
+		e.Go(func() {
+			for i := 0; i < b.N; i++ {
+				f := sim.NewFuture[int](e)
+				e.Go(func() { f.Set(1) })
+				f.Wait()
+			}
+		})
+		b.ResetTimer()
+		e.Run()
+	})
+
+	return out
+}

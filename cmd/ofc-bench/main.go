@@ -6,46 +6,72 @@
 //	ofc-bench -exp all
 //	ofc-bench -exp fig7 -seed 3
 //	ofc-bench -exp table1 -quick
+//	ofc-bench -exp all -jobs 4 -benchout BENCH_sim.json
 //	ofc-bench -list
 //
 // Experiment ids follow DESIGN.md's per-experiment index: summary,
 // fig2, fig3, table1, benefit, fig5, fig6, maturation, fig7, fig7x5,
 // fig8, migration, fig9 (also prints fig10 and table2), macro24,
 // ablations, resilience, chaos, chunking.
+//
+// Independent experiments run concurrently on a GOMAXPROCS-bounded
+// worker pool (-jobs overrides); each experiment buffers its output
+// and results stream in declaration order, so the report reads the
+// same regardless of parallelism. -benchout additionally runs the
+// scheduler/storage micro-benchmarks and writes a machine-readable
+// perf snapshot (see bench.go) for scripts/benchdiff.go to regress
+// against.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 	"strings"
 	"time"
 
 	"ofc/internal/experiments"
 )
 
+// output collects one experiment's report. Each run gets its own, so
+// experiments can execute concurrently and still print in order.
+type output struct {
+	buf bytes.Buffer
+	csv bool
+}
+
+// emit renders a result table into the run's buffer.
+func (o *output) emit(t *experiments.Table) {
+	if o.csv {
+		o.buf.WriteString(t.CSV())
+		return
+	}
+	fmt.Fprintln(&o.buf, t)
+}
+
+func (o *output) printf(format string, args ...interface{}) {
+	fmt.Fprintf(&o.buf, format, args...)
+}
+
 type experiment struct {
 	id   string
 	desc string
-	run  func(seed int64, quick bool)
+	run  func(o *output, seed int64, quick bool)
 }
-
-// emit renders a result table; -format csv swaps it for CSV output.
-var emit = func(t *experiments.Table) { fmt.Println(t) }
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (or 'all')")
-		seed   = flag.Int64("seed", 1, "random seed")
-		quick  = flag.Bool("quick", false, "smaller sweeps for a fast pass")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		format = flag.String("format", "table", "output format: table | csv")
+		exp      = flag.String("exp", "all", "experiment id (or 'all')")
+		seed     = flag.Int64("seed", 1, "random seed")
+		quick    = flag.Bool("quick", false, "smaller sweeps for a fast pass")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		format   = flag.String("format", "table", "output format: table | csv")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "experiments to run concurrently")
+		benchout = flag.String("benchout", "", "write a BENCH_sim.json perf snapshot to this path")
 	)
 	flag.Parse()
-	if *format == "csv" {
-		emit = func(t *experiments.Table) { fmt.Print(t.CSV()) }
-	}
 
 	exps := registry()
 	if *list {
@@ -68,130 +94,171 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
 		os.Exit(1)
 	}
-	for _, e := range chosen {
-		start := time.Now()
-		e.run(*seed, *quick)
-		fmt.Printf("(%s took %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+
+	wallStart := time.Now()
+	type done struct {
+		out  *output
+		took time.Duration
+	}
+	results := make([]chan done, len(chosen))
+	for i := range results {
+		results[i] = make(chan done, 1)
+	}
+	// Bounded fan-out over the chosen experiments; each has its own
+	// seed-derived Envs, so runs are independent.
+	sem := make(chan struct{}, max(1, *jobs))
+	for i, e := range chosen {
+		i, e := i, e
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := &output{csv: *format == "csv"}
+			start := time.Now()
+			e.run(o, *seed, *quick)
+			results[i] <- done{out: o, took: time.Since(start)}
+		}()
+	}
+	// Stream in declaration order: experiment i prints as soon as it
+	// and all its predecessors are finished.
+	wall := make([]ExpEntry, 0, len(chosen))
+	for i, e := range chosen {
+		d := <-results[i]
+		os.Stdout.Write(d.out.buf.Bytes())
+		fmt.Printf("(%s took %v)\n\n", e.id, d.took.Round(time.Millisecond))
+		wall = append(wall, ExpEntry{ID: e.id, WallMs: float64(d.took.Microseconds()) / 1e3})
+	}
+
+	if *benchout != "" {
+		if err := writeBenchFile(*benchout, wall, time.Since(wallStart)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote perf snapshot to %s\n", *benchout)
 	}
 }
 
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
 func registry() []experiment {
-	exps := []experiment{
-		{"summary", "one-screen reproduction scorecard (paper vs measured)", func(seed int64, quick bool) {
-			emit(experiments.Summary(seed))
+	return []experiment{
+		{"summary", "one-screen reproduction scorecard (paper vs measured)", func(o *output, seed int64, quick bool) {
+			o.emit(experiments.Summary(seed))
 		}},
-		{"fig2", "motivation: memory vs input size and sigma scatter", func(seed int64, quick bool) {
+		{"fig2", "motivation: memory vs input size and sigma scatter", func(o *output, seed int64, quick bool) {
 			n := 500
 			if quick {
 				n = 100
 			}
 			tab := experiments.Figure2(n, seed)
 			// The full scatter is long; print summary bands.
-			fmt.Println(summarizeFig2(tab))
+			o.printf("%s\n", summarizeFig2(tab))
 		}},
-		{"fig3", "motivation: ETL split, S3-like vs Redis-like", func(seed int64, quick bool) {
+		{"fig3", "motivation: ETL split, S3-like vs Redis-like", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Figure3(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"table1", "ML accuracy: 4 algorithms × {32,16,8} MB intervals", func(seed int64, quick bool) {
+		{"table1", "ML accuracy: 4 algorithms × {32,16,8} MB intervals", func(o *output, seed int64, quick bool) {
 			cfg := experiments.DefaultTable1Config()
 			cfg.Seed = seed
 			if quick {
 				cfg.SamplesPerFunction, cfg.Folds, cfg.ForestSize = 150, 4, 8
 			}
-			emit(experiments.Table1(cfg))
+			o.emit(experiments.Table1(cfg))
 		}},
-		{"benefit", "caching-benefit classifier precision/recall/F1", func(seed int64, quick bool) {
+		{"benefit", "caching-benefit classifier precision/recall/F1", func(o *output, seed int64, quick bool) {
 			n := 400
 			if quick {
 				n = 150
 			}
 			tab, _ := experiments.CacheBenefit(n, seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"fig5", "prediction-error distribution (J48, 16 MB)", func(seed int64, quick bool) {
+		{"fig5", "prediction-error distribution (J48, 16 MB)", func(o *output, seed int64, quick bool) {
 			n := 450
 			if quick {
 				n = 150
 			}
 			tab, _ := experiments.Figure5(n, seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"fig6", "prediction latency (host time)", func(seed int64, quick bool) {
+		{"fig6", "prediction latency (host time)", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Figure6(450, seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"maturation", "model maturation quickness", func(seed int64, quick bool) {
+		{"maturation", "model maturation quickness", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Maturation(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"fig7", "cache benefits: Swift/Redis/OFC{LH,M,RH} sweep", func(seed int64, quick bool) {
+		{"fig7", "cache benefits: Swift/Redis/OFC{LH,M,RH} sweep", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Figure7(quick, seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"fig7x5", "Figure 7 replicated across 5 seeds (paper's averaging)", func(seed int64, quick bool) {
+		{"fig7x5", "Figure 7 replicated across 5 seeds (paper's averaging)", func(o *output, seed int64, quick bool) {
 			seeds := []int64{seed, seed + 1, seed + 2, seed + 3, seed + 4}
-			emit(experiments.Figure7Replicated(seeds))
+			o.emit(experiments.Figure7Replicated(seeds))
 		}},
-		{"fig8", "cache down-scaling impact (Sc0–Sc3)", func(seed int64, quick bool) {
+		{"fig8", "cache down-scaling impact (Sc0–Sc3)", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Figure8(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"migration", "optimized migration time vs aggregate size", func(seed int64, quick bool) {
+		{"migration", "optimized migration time vs aggregate size", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.MigrationSeries(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"fig9", "macro: 8 tenants × 3 profiles (plus fig10 + table2)", func(seed int64, quick bool) {
+		{"fig9", "macro: 8 tenants × 3 profiles (plus fig10 + table2)", func(o *output, seed int64, quick bool) {
 			window := 30 * time.Minute
 			if quick {
 				window = 8 * time.Minute
 			}
 			tab, runs := experiments.Figure9(window, seed)
-			emit(tab)
-			emit(experiments.Figure10(runs))
-			emit(experiments.Table2(runs))
+			o.emit(tab)
+			o.emit(experiments.Figure10(runs))
+			o.emit(experiments.Table2(runs))
 		}},
-		{"macro24", "macro with 24 tenants (contention)", func(seed int64, quick bool) {
+		{"macro24", "macro with 24 tenants (contention)", func(o *output, seed int64, quick bool) {
 			window := 30 * time.Minute
 			if quick {
 				window = 8 * time.Minute
 			}
 			tab, _, _ := experiments.Macro24(window, seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"ablations", "design-choice ablations (write-back, migration, routing, bump)", func(seed int64, quick bool) {
-			emit(experiments.AblationWriteback(seed))
-			emit(experiments.AblationMigration(seed))
-			emit(experiments.AblationRouting(seed))
-			emit(experiments.AblationIntervalBump(seed))
-			emit(experiments.AblationKeepAlive(seed))
-			emit(experiments.AblationConsistency(seed))
+		{"ablations", "design-choice ablations (write-back, migration, routing, bump)", func(o *output, seed int64, quick bool) {
+			o.emit(experiments.AblationWriteback(seed))
+			o.emit(experiments.AblationMigration(seed))
+			o.emit(experiments.AblationRouting(seed))
+			o.emit(experiments.AblationIntervalBump(seed))
+			o.emit(experiments.AblationKeepAlive(seed))
+			o.emit(experiments.AblationConsistency(seed))
 		}},
-		{"constants", "micro constants (§6.4/§7.2.1) measured end to end", func(seed int64, quick bool) {
-			emit(experiments.Constants(seed))
+		{"constants", "micro constants (§6.4/§7.2.1) measured end to end", func(o *output, seed int64, quick bool) {
+			o.emit(experiments.Constants(seed))
 		}},
-		{"resilience", "worker fail-stop + RAMCloud-style recovery", func(seed int64, quick bool) {
+		{"resilience", "worker fail-stop + RAMCloud-style recovery", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.Resilience(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"chaos", "kill-one-node-per-minute chaos drill (graceful degradation)", func(seed int64, quick bool) {
+		{"chaos", "kill-one-node-per-minute chaos drill (graceful degradation)", func(o *output, seed int64, quick bool) {
 			tab, res := experiments.Chaos(seed, quick)
-			emit(tab)
+			o.emit(tab)
 			for _, line := range res.Applied {
-				fmt.Println("  event:", line)
+				o.printf("  event: %s\n", line)
 			}
 		}},
-		{"chunking", "large-object striping extension (§6.1 future work)", func(seed int64, quick bool) {
+		{"chunking", "large-object striping extension (§6.1 future work)", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.ChunkingExtension(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
-		{"storeplane", "storage data plane: sharded coordinator + batched multi-object ops", func(seed int64, quick bool) {
+		{"storeplane", "storage data plane: sharded coordinator + batched multi-object ops", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.StorePlane(seed)
-			emit(tab)
+			o.emit(tab)
 		}},
 	}
-	sort.SliceStable(exps, func(i, j int) bool { return false }) // keep declaration order
-	return exps
 }
 
 // summarizeFig2 compresses the scatter into per-band min/max rows.

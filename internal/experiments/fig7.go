@@ -195,15 +195,26 @@ func measurePipeline(pb pipelineBuilder, size int64, scen Scenario, seed int64) 
 	return row
 }
 
+// fig7Cell is one measurement of the Figure 7 grid: a (workload, size,
+// scenario) triple, single-stage or pipeline.
+type fig7Cell struct {
+	single string // single-stage spec name, or "" for a pipeline cell
+	pipe   pipelineBuilder
+	size   int64
+	scen   Scenario
+}
+
 // Figure7 sweeps the six single-stage functions and the four pipelines
-// across the five scenarios.
+// across the five scenarios. Every cell is an independent deployment
+// with its own Env, so the grid runs on the Parallel worker pool; rows
+// come back in the same nested-loop order as the sequential sweep.
 func Figure7(quick bool, seed int64) (*Table, []Figure7Row) {
-	var rows []Figure7Row
 	scens := []Scenario{ScenSwift, ScenRedis, ScenLH, ScenM, ScenRH}
+	var cells []fig7Cell
 	for _, name := range fig7SingleStage {
 		for _, size := range singleSizes(quick) {
 			for _, sc := range scens {
-				rows = append(rows, measureSingle(name, size, sc, seed))
+				cells = append(cells, fig7Cell{single: name, size: size, scen: sc})
 			}
 		}
 	}
@@ -214,10 +225,17 @@ func Figure7(quick bool, seed int64) (*Table, []Figure7Row) {
 		}
 		for _, size := range sizes {
 			for _, sc := range scens {
-				rows = append(rows, measurePipeline(pb, size, sc, seed))
+				cells = append(cells, fig7Cell{pipe: pb, size: size, scen: sc})
 			}
 		}
 	}
+	rows := Parallel(len(cells), 0, func(i int) Figure7Row {
+		c := cells[i]
+		if c.single != "" {
+			return measureSingle(c.single, c.size, c.scen, seed)
+		}
+		return measurePipeline(c.pipe, c.size, c.scen, seed)
+	})
 	t := &Table{
 		Title:   "Figure 7 — ETL phase durations across OWK-Swift / OWK-Redis / OFC {LH, M, RH}",
 		Headers: []string{"Workload", "Input", "Scenario", "E", "T", "L", "Total", "vs Swift"},

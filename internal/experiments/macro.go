@@ -191,21 +191,21 @@ func Figure9(window time.Duration, seed int64) (*Table, map[string][2]*MacroResu
 		Title:   "Figure 9 — sum of execution times per tenant (macro, 8 tenants)",
 		Headers: []string{"Tenant", "Profile", "OWK-Swift", "OFC", "Improvement"},
 	}
+	// All six macro runs (3 profiles × 2 modes) are independent
+	// deployments; run them on the worker pool and assemble in profile
+	// order afterwards.
+	modes := []Mode{ModeSwift, ModeOFC}
+	results := Parallel(len(profiles)*len(modes), 0, func(i int) *MacroResult {
+		cfg := DefaultMacroConfig()
+		cfg.Window = window
+		cfg.Profile = profiles[i/len(modes)]
+		cfg.Seed = seed
+		cfg.Mode = modes[i%len(modes)]
+		return RunMacro(cfg)
+	})
 	out := map[string][2]*MacroResult{}
-	for _, prof := range profiles {
-		base := DefaultMacroConfig()
-		base.Window = window
-		base.Profile = prof
-		base.Seed = seed
-
-		swiftCfg := base
-		swiftCfg.Mode = ModeSwift
-		swiftRes := RunMacro(swiftCfg)
-
-		ofcCfg := base
-		ofcCfg.Mode = ModeOFC
-		ofcRes := RunMacro(ofcCfg)
-
+	for pi, prof := range profiles {
+		swiftRes, ofcRes := results[pi*len(modes)], results[pi*len(modes)+1]
 		out[prof.String()] = [2]*MacroResult{swiftRes, ofcRes}
 		for i, sr := range swiftRes.Reports {
 			or := ofcRes.Reports[i]
@@ -308,12 +308,12 @@ func Macro24(window time.Duration, seed int64) (*Table, *MacroResult, *MacroResu
 	base.PoolPerSize = 10
 	base.Profile = workload.ProfileNormal
 
-	swiftCfg := base
-	swiftCfg.Mode = ModeSwift
-	swiftRes := RunMacro(swiftCfg)
-	ofcCfg := base
-	ofcCfg.Mode = ModeOFC
-	ofcRes := RunMacro(ofcCfg)
+	pair := Parallel(2, 0, func(i int) *MacroResult {
+		cfg := base
+		cfg.Mode = []Mode{ModeSwift, ModeOFC}[i]
+		return RunMacro(cfg)
+	})
+	swiftRes, ofcRes := pair[0], pair[1]
 
 	t := &Table{
 		Title:   "§7.2.2 — 24-tenant macro (3 tenants per workload)",

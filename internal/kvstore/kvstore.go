@@ -207,8 +207,11 @@ type Cluster struct {
 	recoveries   int64
 	recoveryTime time.Duration
 	lastRecovery time.Duration
-	coordRPCs    int64
-	serverRPCs   int64
+
+	// RPC counters are charged on every lookup and server operation —
+	// atomics keep the data plane off the stats mutex.
+	coordRPCs  atomic.Int64
+	serverRPCs atomic.Int64
 }
 
 // New creates a cluster whose coordinator runs on coordNode.
@@ -416,9 +419,7 @@ func (c *Cluster) lookup(caller simnet.NodeID, key string) (placement, bool, err
 		p  placement
 		ok bool
 	}
-	c.statsMu.Lock()
-	c.coordRPCs++
-	c.statsMu.Unlock()
+	c.coordRPCs.Add(1)
 	r, err := simnet.TryCall(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
 		p, ok := c.placeGet(key)
 		return res{p, ok}
@@ -436,9 +437,7 @@ func (c *Cluster) lookupMulti(caller simnet.NodeID, keys []string) ([]placement,
 		ps []placement
 		ok []bool
 	}
-	c.statsMu.Lock()
-	c.coordRPCs++
-	c.statsMu.Unlock()
+	c.coordRPCs.Add(1)
 	r, err := simnet.TryCall(c.net, caller, c.coordloc, c.cfg.ControlMsgSize, c.cfg.ControlMsgSize, func() res {
 		ps := make([]placement, len(keys))
 		ok := make([]bool, len(keys))
@@ -556,16 +555,14 @@ func (c *Cluster) Stats() ClusterStats {
 		Recoveries:   c.recoveries,
 		RecoveryTime: c.recoveryTime,
 		LastRecovery: c.lastRecovery,
-		CoordRPCs:    c.coordRPCs,
-		ServerRPCs:   c.serverRPCs,
+		CoordRPCs:    c.coordRPCs.Load(),
+		ServerRPCs:   c.serverRPCs.Load(),
 	}
 }
 
 // countServerRPC records one request/response exchange with a master.
 func (c *Cluster) countServerRPC() {
-	c.statsMu.Lock()
-	c.serverRPCs++
-	c.statsMu.Unlock()
+	c.serverRPCs.Add(1)
 }
 
 // TotalUsed sums master-copy bytes across live servers.

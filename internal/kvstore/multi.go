@@ -35,6 +35,27 @@ type WriteResult struct {
 	Err     error
 }
 
+// idxGroup is one master's share of a batch: the batch indices it owns.
+// Batches touch a handful of servers (six nodes in the paper's
+// testbed), so grouping via a linear-scanned slice avoids the map plus
+// side order-slice the old code allocated on every multi-op.
+type idxGroup struct {
+	node simnet.NodeID
+	idxs []int
+}
+
+// groupAppend files batch index i under node, preserving first-seen
+// node order (which is what keeps multi-op fan-out deterministic).
+func groupAppend(groups []idxGroup, node simnet.NodeID, i int) []idxGroup {
+	for g := range groups {
+		if groups[g].node == node {
+			groups[g].idxs = append(groups[g].idxs, i)
+			return groups
+		}
+	}
+	return append(groups, idxGroup{node: node, idxs: []int{i}})
+}
+
 // ReadMulti fetches a batch of keys, grouping them per master server:
 // one coordinator lookup for the whole batch, then one request and one
 // (bulk) response exchange per involved server. Per-key failures are
@@ -51,27 +72,22 @@ func (c *Cluster) ReadMulti(caller simnet.NodeID, keys []string) []ReadResult {
 		}
 		return out
 	}
-	groups := make(map[simnet.NodeID][]int)
-	var order []simnet.NodeID
+	var groups []idxGroup
 	for i := range keys {
 		if !oks[i] {
 			out[i].Err = ErrNotFound
 			continue
 		}
-		m := ps[i].master
-		if _, seen := groups[m]; !seen {
-			order = append(order, m)
-		}
-		groups[m] = append(groups[m], i)
+		groups = groupAppend(groups, ps[i].master, i)
 	}
 	env := c.env()
 	wg := sim.NewWaitGroup(env)
-	for _, m := range order {
-		m, idxs := m, groups[m]
+	for _, g := range groups {
+		g := g
 		wg.Add(1)
 		env.Go(func() {
 			defer wg.Done()
-			c.readGroup(caller, m, keys, idxs, out)
+			c.readGroup(caller, g.node, keys, g.idxs, out)
 		})
 	}
 	wg.Wait()
@@ -170,26 +186,21 @@ func (c *Cluster) WriteMulti(caller simnet.NodeID, items []WriteItem, preferred 
 			speculative[i] = true
 		}
 	}
-	groups := make(map[simnet.NodeID][]int)
-	var order []simnet.NodeID
+	var groups []idxGroup
 	for i := range items {
 		if out[i].Err != nil {
 			continue
 		}
-		m := ps[i].master
-		if _, seen := groups[m]; !seen {
-			order = append(order, m)
-		}
-		groups[m] = append(groups[m], i)
+		groups = groupAppend(groups, ps[i].master, i)
 	}
 	env := c.env()
 	wg := sim.NewWaitGroup(env)
-	for _, m := range order {
-		m, idxs := m, groups[m]
+	for _, g := range groups {
+		g := g
 		wg.Add(1)
 		env.Go(func() {
 			defer wg.Done()
-			c.writeGroup(caller, m, items, ps, speculative, idxs, out)
+			c.writeGroup(caller, g.node, items, ps, speculative, g.idxs, out)
 		})
 	}
 	wg.Wait()
@@ -290,34 +301,40 @@ func (c *Cluster) writeGroup(caller, master simnet.NodeID, items []WriteItem, ps
 	}
 
 	// Replicate: group replica payloads per backup node so each backup
-	// sees one bulk transfer and one ack for its whole share.
+	// sees one bulk transfer and one ack for its whole share. Same
+	// linear-scan grouping as the master fan-out: replication factor
+	// times a handful of nodes.
 	type repShare struct {
+		node  simnet.NodeID
 		items []acceptedItem
 		bytes int64
 	}
-	shares := make(map[simnet.NodeID]*repShare)
-	var repOrder []simnet.NodeID
+	var shares []repShare
 	for _, a := range acc {
 		for _, b := range ps[a.idx].backups {
-			sh := shares[b]
-			if sh == nil {
-				sh = &repShare{}
-				shares[b] = sh
-				repOrder = append(repOrder, b)
+			found := false
+			for s := range shares {
+				if shares[s].node == b {
+					shares[s].items = append(shares[s].items, a)
+					shares[s].bytes += items[a.idx].Blob.Size
+					found = true
+					break
+				}
 			}
-			sh.items = append(sh.items, a)
-			sh.bytes += items[a.idx].Blob.Size
+			if !found {
+				shares = append(shares, repShare{node: b, items: []acceptedItem{a}, bytes: items[a.idx].Blob.Size})
+			}
 		}
 	}
 	repErr := make(map[int]error, len(acc))
 	var repMu sync.Mutex
 	wg := sim.NewWaitGroup(env)
-	for _, b := range repOrder {
-		b, share := b, shares[b]
+	for i := range shares {
+		share := shares[i]
 		wg.Add(1)
 		env.Go(func() {
 			defer wg.Done()
-			err := c.replicateShare(master, b, items, share.items, share.bytes)
+			err := c.replicateShare(master, share.node, items, share.items, share.bytes)
 			if err != nil {
 				repMu.Lock()
 				for _, a := range share.items {

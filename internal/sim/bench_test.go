@@ -17,6 +17,41 @@ func BenchmarkSleepEvent(b *testing.B) {
 	env.Run()
 }
 
+// BenchmarkAfterCallback measures callback dispatch through the
+// bounded worker pool (a self-rescheduling chain, like keepalive and
+// eviction timers in the platform).
+func BenchmarkAfterCallback(b *testing.B) {
+	env := NewEnv(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			env.After(time.Microsecond, tick)
+		}
+	}
+	env.After(time.Microsecond, tick)
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkBatchWakeup measures equal-timestamp fan-out: many
+// processes sleeping to the same instant, popped as one batch.
+func BenchmarkBatchWakeup(b *testing.B) {
+	env := NewEnv(1)
+	const fan = 64
+	rounds := b.N/fan + 1
+	for i := 0; i < fan; i++ {
+		env.Go(func() {
+			for r := 0; r < rounds; r++ {
+				env.Sleep(time.Microsecond) // all fan sleepers share each timestamp
+			}
+		})
+	}
+	b.ResetTimer()
+	env.Run()
+}
+
 // BenchmarkFutureRoundTrip measures a set/wait handoff between two
 // processes.
 func BenchmarkFutureRoundTrip(b *testing.B) {

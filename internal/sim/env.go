@@ -10,6 +10,16 @@
 // experiments complete in milliseconds of host time while preserving
 // the timing relationships between components.
 //
+// The event loop is the hot path of every experiment, so it is built
+// to avoid per-event allocation and lock traffic: timers and their
+// wake channels are pooled and recycled, the event queue is a 4-ary
+// heap popped in per-timestamp batches, After callbacks run on a
+// bounded pool of reusable worker goroutines, and Now/Stopped are
+// lock-free atomic reads. Dispatch itself stays strictly serialized
+// in (timestamp, seq) order — one event runs to its next blocking
+// point before the next is released — which is what makes runs a pure
+// function of their seed.
+//
 // Usage:
 //
 //	env := sim.NewEnv(seed)
@@ -18,10 +28,10 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,7 +40,10 @@ import (
 // arithmetic stays trivial.
 type Time = time.Duration
 
-// timer is a pending wake-up in the event queue.
+// timer is a pending wake-up in the event queue. Timers are pooled:
+// Sleep and After draw them from timerPool and they are recycled as
+// soon as their single wake has been delivered, so the steady-state
+// event loop allocates nothing.
 type timer struct {
 	at  Time
 	seq int64 // FIFO tie-break for equal timestamps
@@ -38,24 +51,37 @@ type timer struct {
 	fn  func() // optional callback (runs as its own process)
 }
 
-type timerHeap []*timer
+// timerPool recycles timers across Sleeps, Afters and environments.
+// The wake channel is buffered with capacity one and carries exactly
+// one send per timer life, so it drains itself and can be reused.
+var timerPool = sync.Pool{New: func() interface{} {
+	return &timer{ch: make(chan struct{}, 1)}
+}}
 
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// worker is one reusable goroutine of the After-callback pool.
+type worker struct {
+	ch chan func()
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return it
+
+// maxWorkers bounds the callback pool. Callbacks that turn into
+// long-lived processes can occupy a worker indefinitely; once the
+// pool is exhausted further callbacks spill to one-shot goroutines,
+// so the bound is a recycling optimization, never a deadlock risk.
+const maxWorkers = 64
+
+// PanicError annotates a panic raised inside an After/Every callback
+// with the virtual timestamp at which it fired, so a failure deep in
+// a macro experiment is attributable to a point in simulated time.
+// The original panic value is preserved in Value.
+type PanicError struct {
+	At    Time
+	Value interface{}
+}
+
+// Error implements error; the Go runtime prints it when the re-raised
+// panic terminates the program.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("sim: callback panic at virtual time %v: %v", p.At, p.Value)
 }
 
 // Env is a simulation environment: a virtual clock, an event queue and
@@ -64,14 +90,25 @@ func (h *timerHeap) Pop() interface{} {
 type Env struct {
 	mu      sync.Mutex
 	cond    *sync.Cond // signaled when running drops to zero
-	now     Time
-	running int // processes currently runnable or executing
-	timers  timerHeap
+	now     Time       // guarded by mu; mirrored in nowA for lock-free reads
+	running int        // processes currently runnable or executing
+	heap    []*timer   // 4-ary min-heap ordered by (at, seq)
+	batch   []*timer   // scratch: timers popped together for one timestamp
 	seq     int64
-	stopped bool
+	stopped bool // guarded by mu; mirrored in stoppedA
 	limit   Time // horizon; 0 means none
-	rng     *rand.Rand
-	rngMu   sync.Mutex
+
+	nowA     atomic.Int64
+	stoppedA atomic.Bool
+	events   atomic.Int64 // timers dispatched
+
+	// After-callback worker pool (all fields guarded by mu).
+	idle     []*worker
+	nworkers int
+	draining bool
+
+	rng   *rand.Rand
+	rngMu sync.Mutex
 }
 
 // NewEnv returns a fresh environment whose clock reads zero. The seed
@@ -83,17 +120,23 @@ func NewEnv(seed int64) *Env {
 	return e
 }
 
-// Now returns the current virtual time.
+// Now returns the current virtual time. It is a lock-free atomic read:
+// hot loops (per-invocation timestamps, workload deadline checks) call
+// it once per event and must not contend with the scheduler mutex.
 func (e *Env) Now() Time {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.now
+	return Time(e.nowA.Load())
 }
+
+// Events reports the number of timer events dispatched so far — the
+// scheduler's work counter, used by benchmarks to derive events/sec.
+func (e *Env) Events() int64 { return e.events.Load() }
 
 // Rand returns a deterministic pseudo-random float64 in [0,1). It is
 // safe for concurrent use, though cross-process call ordering at equal
 // virtual timestamps is not deterministic; workloads that need strict
-// reproducibility should carry their own rand.Rand.
+// reproducibility (and hot loops that would otherwise serialize on the
+// shared generator's lock) should carry a private rand.Rand obtained
+// from NewRand instead of calling Rand per event.
 func (e *Env) Rand() float64 {
 	e.rngMu.Lock()
 	defer e.rngMu.Unlock()
@@ -101,11 +144,23 @@ func (e *Env) Rand() float64 {
 }
 
 // NewRand derives an independent deterministic generator, for workloads
-// that need a private stream.
+// that need a private stream. Derive once at setup, not per event.
 func (e *Env) NewRand() *rand.Rand {
 	e.rngMu.Lock()
 	defer e.rngMu.Unlock()
 	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// setNowLocked advances the clock; e.mu must be held.
+func (e *Env) setNowLocked(t Time) {
+	e.now = t
+	e.nowA.Store(int64(t))
+}
+
+// markStoppedLocked latches the stop flag; e.mu must be held.
+func (e *Env) markStoppedLocked() {
+	e.stopped = true
+	e.stoppedA.Store(true)
 }
 
 // Go spawns fn as a new simulation process. It may be called before Run
@@ -149,33 +204,107 @@ func (e *Env) unblock() {
 	e.mu.Unlock()
 }
 
+// less orders timers by (timestamp, FIFO seq).
+func less(a, b *timer) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// pushLocked inserts t into the 4-ary heap; e.mu must be held. A 4-ary
+// layout halves the tree depth of the binary heap and keeps children
+// on one cache line, and the inlined sift avoids container/heap's
+// interface boxing on every operation.
+func (e *Env) pushLocked(t *timer) {
+	h := append(e.heap, t)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// popLocked removes and returns the earliest timer; e.mu must be held
+// and the heap must be non-empty.
+func (e *Env) popLocked() *timer {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		min := i
+		base := 4*i + 1
+		end := base + 4
+		if end > n {
+			end = n
+		}
+		for c := base; c < end; c++ {
+			if less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.heap = h
+	return top
+}
+
 // Sleep suspends the calling process for d of virtual time. Negative or
 // zero durations yield to other processes scheduled at the same instant.
+// Once the environment is stopped (Stop or horizon) the clock is frozen
+// and Sleep returns immediately, so processes drain instead of leaking.
 func (e *Env) Sleep(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
 	e.mu.Lock()
-	t := &timer{at: e.now + d, seq: e.seq, ch: make(chan struct{})}
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	t := timerPool.Get().(*timer)
+	t.at, t.seq, t.fn = e.now+d, e.seq, nil
 	e.seq++
-	heap.Push(&e.timers, t)
+	e.pushLocked(t)
 	e.running--
 	if e.running == 0 {
 		e.cond.Broadcast()
 	}
 	e.mu.Unlock()
 	<-t.ch
+	timerPool.Put(t)
 }
 
-// After schedules fn to run as a new process at now+d.
+// After schedules fn to run as a new process at now+d. Callbacks
+// scheduled after the environment has stopped are dropped: periodic
+// chains end at the stop point instead of queueing events that could
+// never fire.
 func (e *Env) After(d time.Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
 	e.mu.Lock()
-	t := &timer{at: e.now + d, seq: e.seq, fn: fn}
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	t := timerPool.Get().(*timer)
+	t.at, t.seq, t.fn = e.now+d, e.seq, fn
 	e.seq++
-	heap.Push(&e.timers, t)
+	e.pushLocked(t)
 	e.mu.Unlock()
 }
 
@@ -199,19 +328,18 @@ func (e *Env) Every(period time.Duration, fn func() bool) {
 }
 
 // Stopped reports whether Stop was called or the horizon was reached.
+// Lock-free; safe to poll from hot loops.
 func (e *Env) Stopped() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stopped
+	return e.stoppedA.Load()
 }
 
-// Stop asks Run to terminate at the next idle point. Pending timers are
-// discarded; blocked processes are abandoned (the goroutines leak until
-// process exit, which is acceptable for short-lived test binaries, or
-// their wakers run during teardown).
+// Stop asks Run to terminate. Pending After callbacks are discarded;
+// pending Sleepers are woken with the clock frozen at the stop time so
+// their goroutines run to completion instead of leaking (subsequent
+// Sleeps return immediately, see Sleep).
 func (e *Env) Stop() {
 	e.mu.Lock()
-	e.stopped = true
+	e.markStoppedLocked()
 	e.mu.Unlock()
 }
 
@@ -219,6 +347,18 @@ func (e *Env) Stop() {
 // is pending, or the horizon (SetHorizon) is reached, or Stop is
 // called. It returns the final virtual time. Run must be called from a
 // plain goroutine, not from a simulation process.
+//
+// Dispatch order is deterministic: timers fire in (timestamp, seq)
+// order and each fired event runs until it blocks or exits before the
+// next one is released. All timers sharing the next timestamp are
+// popped from the heap in one critical section (the common case in
+// fan-out/fan-in patterns), then woken from that batch without
+// touching the heap again.
+//
+// After Stop or the horizon, Run drains: remaining Sleep timers are
+// woken at the frozen clock (their processes terminate instead of
+// leaking), remaining callbacks are dropped, and the worker pool is
+// shut down before Run returns.
 func (e *Env) Run() Time {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -226,31 +366,127 @@ func (e *Env) Run() Time {
 		for e.running > 0 {
 			e.cond.Wait()
 		}
-		if e.stopped || len(e.timers) == 0 {
-			e.stopped = true
+		if len(e.heap) == 0 {
+			e.markStoppedLocked()
+			e.drainWorkersLocked()
 			return e.now
 		}
-		t := heap.Pop(&e.timers).(*timer)
-		if e.limit > 0 && t.at > e.limit {
-			e.now = e.limit
-			e.stopped = true
-			return e.now
+		t := e.popLocked()
+		if !e.stopped {
+			if e.limit > 0 && t.at > e.limit {
+				// Horizon reached: freeze the clock and fall through
+				// to the drain path below.
+				e.setNowLocked(e.limit)
+				e.markStoppedLocked()
+			} else if t.at > e.now {
+				e.setNowLocked(t.at)
+			}
 		}
-		if t.at > e.now {
-			e.now = t.at
+		// Pop every timer sharing this timestamp in the same critical
+		// section; they dispatch from the batch without another heap
+		// operation each.
+		e.batch = append(e.batch[:0], t)
+		for len(e.heap) > 0 && e.heap[0].at == t.at {
+			e.batch = append(e.batch, e.popLocked())
 		}
-		if t.fn != nil {
-			fn := t.fn
-			e.running++
-			go func() {
-				defer e.exit()
-				fn()
-			}()
-		} else {
-			e.running++
-			close(t.ch)
+		for i, bt := range e.batch {
+			e.batch[i] = nil
+			if bt.fn != nil {
+				if e.stopped {
+					// Draining: callbacks scheduled before the stop
+					// never fire after it.
+					bt.fn = nil
+					timerPool.Put(bt)
+					continue
+				}
+				fn := bt.fn
+				bt.fn = nil
+				timerPool.Put(bt)
+				e.events.Add(1)
+				e.running++
+				e.startCallbackLocked(fn)
+			} else {
+				e.events.Add(1)
+				e.running++
+				bt.ch <- struct{}{} // buffered; the sleeper recycles bt
+			}
+			for e.running > 0 {
+				e.cond.Wait()
+			}
 		}
 	}
+}
+
+// startCallbackLocked hands fn to an idle pool worker, growing the
+// pool up to maxWorkers, and spilling to a one-shot goroutine beyond
+// that; e.mu must be held. Worker identity is invisible to fn, so the
+// choice cannot affect determinism.
+func (e *Env) startCallbackLocked(fn func()) {
+	if n := len(e.idle); n > 0 {
+		w := e.idle[n-1]
+		e.idle[n-1] = nil
+		e.idle = e.idle[:n-1]
+		w.ch <- fn // buffered(1); the worker is idle, never blocks
+		return
+	}
+	if e.nworkers < maxWorkers {
+		e.nworkers++
+		w := &worker{ch: make(chan func(), 1)}
+		w.ch <- fn
+		go e.workerLoop(w)
+		return
+	}
+	go e.execTask(fn)
+}
+
+// workerLoop runs queued callbacks until the pool drains. The loop
+// body only continues after a normal callback return: a panic unwinds
+// through execTask (annotated) and a runtime.Goexit (e.g. t.Fatal in
+// a test callback) terminates the goroutine, in both cases after
+// execTask's defer has retired the process from the census.
+func (e *Env) workerLoop(w *worker) {
+	for fn := range w.ch {
+		e.execTask(fn)
+		e.mu.Lock()
+		if e.draining {
+			e.mu.Unlock()
+			return
+		}
+		e.idle = append(e.idle, w)
+		e.mu.Unlock()
+	}
+}
+
+// execTask runs one callback as a simulation process and retires it
+// from the running census however it terminates — return, panic, or
+// runtime.Goexit. Panics are re-raised wrapped in PanicError so the
+// crash names the virtual time at which the callback fired.
+func (e *Env) execTask(fn func()) {
+	defer func() {
+		r := recover()
+		e.mu.Lock()
+		e.running--
+		if e.running == 0 {
+			e.cond.Broadcast()
+		}
+		e.mu.Unlock()
+		if r != nil {
+			panic(&PanicError{At: Time(e.nowA.Load()), Value: r})
+		}
+	}()
+	fn()
+}
+
+// drainWorkersLocked shuts the callback pool down; e.mu must be held.
+// Idle workers are released immediately; a worker still hosting a
+// blocked process exits when (if ever) that process finishes.
+func (e *Env) drainWorkersLocked() {
+	e.draining = true
+	for i, w := range e.idle {
+		close(w.ch)
+		e.idle[i] = nil
+	}
+	e.idle = e.idle[:0]
 }
 
 // SetHorizon caps the virtual clock: Run returns once the next event
@@ -265,5 +501,5 @@ func (e *Env) SetHorizon(limit time.Duration) {
 func (e *Env) String() string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return fmt.Sprintf("sim.Env{now=%v running=%d timers=%d}", e.now, e.running, len(e.timers))
+	return fmt.Sprintf("sim.Env{now=%v running=%d timers=%d}", e.now, e.running, len(e.heap))
 }

@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestStopDrainsSleepers is the regression test for the Stop goroutine
+// leak: processes blocked in Sleep when Stop fires must be woken (with
+// the clock frozen) and run to completion instead of leaking until
+// process exit.
+func TestStopDrainsSleepers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	env := NewEnv(1)
+	const sleepers = 200
+	var resumed atomic.Int64
+	for i := 0; i < sleepers; i++ {
+		i := i
+		env.Go(func() {
+			env.Sleep(time.Duration(1+i) * time.Hour) // far past the stop point
+			resumed.Add(1)
+		})
+	}
+	env.Go(func() {
+		env.Sleep(time.Millisecond)
+		env.Stop()
+	})
+	end := env.Run()
+	if end != time.Millisecond {
+		t.Fatalf("clock advanced past the stop point: %v", end)
+	}
+	if got := resumed.Load(); got != sleepers {
+		t.Fatalf("only %d/%d sleepers resumed after Stop", got, sleepers)
+	}
+	// The sleeper goroutines have all passed their wake point before Run
+	// returns; give the runtime a beat to unwind their stacks.
+	for i := 0; i < 100 && runtime.NumGoroutine() > before+2; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines leaked across Stop: %d before, %d after", before, after)
+	}
+}
+
+// TestHorizonDrainsSleepers: the horizon path must drain exactly like
+// an explicit Stop.
+func TestHorizonDrainsSleepers(t *testing.T) {
+	env := NewEnv(1)
+	env.SetHorizon(50 * time.Millisecond)
+	var resumed atomic.Int64
+	for i := 0; i < 50; i++ {
+		env.Go(func() {
+			env.Sleep(time.Hour)
+			resumed.Add(1)
+		})
+	}
+	if end := env.Run(); end != 50*time.Millisecond {
+		t.Fatalf("final clock %v, want the 50ms horizon", end)
+	}
+	if got := resumed.Load(); got != 50 {
+		t.Fatalf("only %d/50 sleepers resumed at the horizon", got)
+	}
+}
+
+// TestAfterDroppedOnStop: callbacks pending at the stop point, and
+// callbacks scheduled after it, must never fire.
+func TestAfterDroppedOnStop(t *testing.T) {
+	env := NewEnv(1)
+	var fired atomic.Int64
+	env.After(time.Hour, func() { fired.Add(1) })
+	env.Go(func() {
+		env.Sleep(time.Millisecond)
+		env.Stop()
+		env.After(time.Microsecond, func() { fired.Add(1) })
+	})
+	env.Run()
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("%d callbacks fired after Stop", n)
+	}
+}
+
+// TestSchedulerStress drives 10k concurrent processes through mixed
+// Sleep/After/Every traffic with heavy equal-timestamp collisions and
+// checks FIFO tie-break order and the final clock value. make
+// test-race runs this under the race detector.
+func TestSchedulerStress(t *testing.T) {
+	env := NewEnv(7)
+	const procs = 10000
+	var done atomic.Int64
+	var maxAt time.Duration
+	for i := 0; i < procs; i++ {
+		// i%977 and i%13 force thousands of processes onto shared
+		// timestamps (equal-timestamp storms for the batch pop path).
+		d1 := time.Duration(i%977) * time.Millisecond
+		d2 := time.Duration(i%13) * time.Millisecond
+		if d1+d2 > maxAt {
+			maxAt = d1 + d2
+		}
+		env.Go(func() {
+			env.Sleep(d1)
+			env.Sleep(d2)
+			done.Add(1)
+		})
+	}
+
+	// Equal-timestamp callback storm: all fire at t=2s, and FIFO-by-seq
+	// dispatch means the append order must equal the schedule order.
+	// The slice is intentionally unsynchronized — serialized dispatch is
+	// the guarantee under test, and -race verifies it.
+	const storm = 500
+	var order []int
+	for i := 0; i < storm; i++ {
+		i := i
+		env.After(2*time.Second, func() { order = append(order, i) })
+	}
+
+	ticks := 0
+	env.Every(100*time.Millisecond, func() bool {
+		ticks++
+		return ticks < 25
+	})
+
+	end := env.Run()
+
+	want := maxAt
+	if 2*time.Second > want {
+		want = 2 * time.Second
+	}
+	if tickEnd := 25 * 100 * time.Millisecond; tickEnd > want {
+		want = tickEnd
+	}
+	if end != want {
+		t.Errorf("final clock %v, want %v", end, want)
+	}
+	if got := done.Load(); got != procs {
+		t.Errorf("%d/%d processes completed", got, procs)
+	}
+	if len(order) != storm {
+		t.Fatalf("%d/%d storm callbacks fired", len(order), storm)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("equal-timestamp callbacks fired out of FIFO order: position %d got %d", i, v)
+		}
+	}
+}
+
+// TestCallbackPanicAnnotated verifies that a panic inside an After
+// callback is re-raised as a PanicError carrying the virtual timestamp.
+// The panic escapes on a pool-worker goroutine and takes the process
+// down, so the crash is observed from a child invocation of this test
+// binary.
+func TestCallbackPanicAnnotated(t *testing.T) {
+	if os.Getenv("SIM_PANIC_CHILD") == "1" {
+		env := NewEnv(1)
+		env.After(5*time.Millisecond, func() { panic("boom") })
+		env.Run()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestCallbackPanicAnnotated$")
+	cmd.Env = append(os.Environ(), "SIM_PANIC_CHILD=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("child survived a panicking callback:\n%s", out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "virtual time 5ms") || !strings.Contains(s, "boom") {
+		t.Errorf("panic not annotated with virtual timestamp:\n%s", s)
+	}
+}
+
+// TestEventsCounter: the dispatch counter must count every fired timer.
+func TestEventsCounter(t *testing.T) {
+	env := NewEnv(1)
+	const n = 100
+	for i := 0; i < n; i++ {
+		env.Go(func() { env.Sleep(time.Millisecond) })
+	}
+	env.After(2*time.Millisecond, func() {})
+	env.Run()
+	if got := env.Events(); got != n+1 {
+		t.Errorf("Events() = %d, want %d", got, n+1)
+	}
+}

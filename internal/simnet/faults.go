@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -32,28 +33,30 @@ type linkState struct {
 }
 
 // faults holds the mutable failure state of the fabric. It lives on
-// its own lock so the hot transfer path stays cheap when no fault is
-// active.
+// its own lock, and the `any` hint is atomic: fault-free runs (the
+// vast majority of transfers even in chaos drills) check one atomic
+// load on the hot path and never touch the mutex.
 type faults struct {
 	mu       sync.Mutex
-	any      bool // fast-path hint: at least one fault ever injected
+	any      atomic.Bool // fast-path hint: at least one fault ever injected
 	nodeDown map[NodeID]bool
 	links    map[linkKey]*linkState
 	diskSlow map[NodeID]float64
 	rng      *rand.Rand
 }
 
-func (n *Network) faultState() *faults {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.flt == nil {
-		n.flt = &faults{
-			nodeDown: make(map[NodeID]bool),
-			links:    make(map[linkKey]*linkState),
-			diskSlow: make(map[NodeID]float64),
-			rng:      rand.New(rand.NewSource(0)),
-		}
+func newFaults() *faults {
+	return &faults{
+		nodeDown: make(map[NodeID]bool),
+		links:    make(map[linkKey]*linkState),
+		diskSlow: make(map[NodeID]float64),
+		rng:      rand.New(rand.NewSource(0)),
 	}
+}
+
+// faultState returns the fabric's failure state, allocated eagerly at
+// Network construction so lookups need no lock.
+func (n *Network) faultState() *faults {
 	return n.flt
 }
 
@@ -72,13 +75,16 @@ func (n *Network) SetNodeDown(id NodeID, down bool) {
 	f := n.faultState()
 	f.mu.Lock()
 	f.nodeDown[id] = down
-	f.any = true
+	f.any.Store(true)
 	f.mu.Unlock()
 }
 
 // NodeDown reports whether the machine is fail-stopped.
 func (n *Network) NodeDown(id NodeID) bool {
-	f := n.faultState()
+	f := n.flt
+	if !f.any.Load() {
+		return false
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.nodeDown[id]
@@ -99,7 +105,7 @@ func (n *Network) Partition(a, b NodeID) {
 	f := n.faultState()
 	f.mu.Lock()
 	f.link(a, b).partitioned = true
-	f.any = true
+	f.any.Store(true)
 	f.mu.Unlock()
 }
 
@@ -121,7 +127,7 @@ func (n *Network) DegradeLink(a, b NodeID, latFactor, bwFactor float64) {
 	l := f.link(a, b)
 	l.latFactor = latFactor
 	l.bwFactor = bwFactor
-	f.any = true
+	f.any.Store(true)
 	f.mu.Unlock()
 }
 
@@ -132,7 +138,7 @@ func (n *Network) SetPacketLoss(a, b NodeID, p float64) {
 	f := n.faultState()
 	f.mu.Lock()
 	f.link(a, b).lossProb = p
-	f.any = true
+	f.any.Store(true)
 	f.mu.Unlock()
 }
 
@@ -154,17 +160,15 @@ func (n *Network) SetDiskFactor(id NodeID, factor float64) {
 		delete(f.diskSlow, id)
 	} else {
 		f.diskSlow[id] = factor
-		f.any = true
+		f.any.Store(true)
 	}
 	f.mu.Unlock()
 }
 
 // diskFactor returns node's current disk slowdown (>= 1).
 func (n *Network) diskFactor(id NodeID) float64 {
-	n.mu.Lock()
 	f := n.flt
-	n.mu.Unlock()
-	if f == nil {
+	if !f.any.Load() {
 		return 1
 	}
 	f.mu.Lock()
@@ -189,17 +193,14 @@ type linkFaults struct {
 // lookFaults inspects the fault state for a transfer from -> to.
 func (n *Network) lookFaults(from, to NodeID) linkFaults {
 	out := linkFaults{reachable: true, latFactor: 1, bwFactor: 1}
-	n.mu.Lock()
 	f := n.flt
-	n.mu.Unlock()
-	if f == nil {
+	if !f.any.Load() {
+		// Fault-free fabric: the common case costs one atomic load and
+		// no lock, no map lookups.
 		return out
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	if !f.any {
-		return out
-	}
 	if f.nodeDown[from] || f.nodeDown[to] {
 		out.reachable = false
 		return out

@@ -13,6 +13,7 @@ package simnet
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofc/internal/sim"
@@ -62,9 +63,13 @@ func DefaultConfig() Config {
 type Network struct {
 	env   *sim.Env
 	cfg   Config
-	mu    sync.Mutex
+	mu    sync.Mutex // guards nodes (writes) — readers use nodesA
 	nodes []*Node
-	flt   *faults // lazily allocated failure state (see faults.go)
+	// nodesA holds an immutable []*Node snapshot so Node(), on every
+	// transfer and RPC, is a lock-free load instead of a mutex
+	// round-trip. AddNode republishes the snapshot.
+	nodesA atomic.Value
+	flt    *faults // failure state, allocated eagerly (see faults.go)
 }
 
 // Node is one machine: a transmit NIC, a receive NIC and a disk, each a
@@ -78,11 +83,12 @@ type Node struct {
 	rx   *sim.Semaphore
 	disk *sim.Semaphore
 
-	statsMu   sync.Mutex
-	bytesSent int64
-	bytesRecv int64
-	diskRead  int64
-	diskWrite int64
+	// Traffic counters are atomics: every transfer charges two of them,
+	// so a stats mutex would serialize the whole data plane under -race.
+	bytesSent atomic.Int64
+	bytesRecv atomic.Int64
+	diskRead  atomic.Int64
+	diskWrite atomic.Int64
 }
 
 // New creates an empty network over env with the given constants.
@@ -90,7 +96,9 @@ func New(env *sim.Env, cfg Config) *Network {
 	if cfg.Bandwidth <= 0 {
 		panic("simnet: non-positive bandwidth")
 	}
-	return &Network{env: env, cfg: cfg}
+	n := &Network{env: env, cfg: cfg, flt: newFaults()}
+	n.nodesA.Store([]*Node(nil))
+	return n
 }
 
 // Env returns the simulation environment the network runs on.
@@ -112,25 +120,28 @@ func (n *Network) AddNode(name string) *Node {
 		disk: sim.NewSemaphore(n.env, 1),
 	}
 	n.nodes = append(n.nodes, node)
+	snap := make([]*Node, len(n.nodes))
+	copy(snap, n.nodes)
+	n.nodesA.Store(snap)
 	return node
 }
 
-// Node returns the node with the given id.
+// Node returns the node with the given id. Lock-free: it reads the
+// published node snapshot, so the per-transfer hot path never touches
+// the network mutex.
 func (n *Network) Node(id NodeID) *Node {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if int(id) < 0 || int(id) >= len(n.nodes) {
+	nodes := n.nodesA.Load().([]*Node)
+	if int(id) < 0 || int(id) >= len(nodes) {
 		panic(fmt.Sprintf("simnet: unknown node %d", id))
 	}
-	return n.nodes[id]
+	return nodes[id]
 }
 
 // Nodes returns all registered nodes.
 func (n *Network) Nodes() []*Node {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]*Node, len(n.nodes))
-	copy(out, n.nodes)
+	nodes := n.nodesA.Load().([]*Node)
+	out := make([]*Node, len(nodes))
+	copy(out, nodes)
 	return out
 }
 
@@ -200,12 +211,8 @@ func (n *Network) TryTransfer(from, to NodeID, size int64) error {
 	n.env.Sleep(tx)
 	dst.rx.Release(1)
 
-	src.statsMu.Lock()
-	src.bytesSent += size
-	src.statsMu.Unlock()
-	dst.statsMu.Lock()
-	dst.bytesRecv += size
-	dst.statsMu.Unlock()
+	src.bytesSent.Add(size)
+	dst.bytesRecv.Add(size)
 	return nil
 }
 
@@ -245,9 +252,7 @@ func (nd *Node) DiskRead(size int64) {
 	base := cfg.DiskReadLatency + time.Duration(float64(size)/cfg.DiskReadBandwidth*float64(time.Second))
 	nd.net.env.Sleep(time.Duration(float64(base) * slow))
 	nd.disk.Release(1)
-	nd.statsMu.Lock()
-	nd.diskRead += size
-	nd.statsMu.Unlock()
+	nd.diskRead.Add(size)
 }
 
 // DiskWrite charges a write of size bytes against the node's disk,
@@ -259,14 +264,10 @@ func (nd *Node) DiskWrite(size int64) {
 	base := cfg.DiskWriteLatency + time.Duration(float64(size)/cfg.DiskWriteBandwidth*float64(time.Second))
 	nd.net.env.Sleep(time.Duration(float64(base) * slow))
 	nd.disk.Release(1)
-	nd.statsMu.Lock()
-	nd.diskWrite += size
-	nd.statsMu.Unlock()
+	nd.diskWrite.Add(size)
 }
 
 // Stats reports cumulative traffic counters for the node.
 func (nd *Node) Stats() (bytesSent, bytesRecv, diskRead, diskWrite int64) {
-	nd.statsMu.Lock()
-	defer nd.statsMu.Unlock()
-	return nd.bytesSent, nd.bytesRecv, nd.diskRead, nd.diskWrite
+	return nd.bytesSent.Load(), nd.bytesRecv.Load(), nd.diskRead.Load(), nd.diskWrite.Load()
 }

@@ -52,7 +52,7 @@ type tenantState struct {
 	report TenantReport
 	lat    metrics.Histogram
 	mu     sync.Mutex
-	run    func(rng *rand.Rand, id string) (time.Duration, *statsDelta)
+	run    func(id string) (time.Duration, *statsDelta)
 	mean   time.Duration
 	period bool
 	// schedule, when non-empty, replays explicit offsets instead of a
@@ -72,11 +72,13 @@ func NewFaaSLoad(env *sim.Env, platform *faas.Platform, seed int64) *FaaSLoad {
 }
 
 // AddFunctionTenant registers a tenant invoking a single-stage
-// function with inputs from pool.
+// function with inputs from pool. Each tenant derives a private
+// argument-generator stream once, at registration: per-invocation
+// draws never touch the injector's (locked) root generator.
 func (fl *FaaSLoad) AddFunctionTenant(name string, spec *Spec, fn *faas.Function, pool *InputPool, mean time.Duration, periodic bool) {
 	rng := rand.New(rand.NewSource(fl.rng.Int63()))
 	st := &tenantState{report: TenantReport{Name: name}, mean: mean, period: periodic}
-	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+	st.run = func(id string) (time.Duration, *statsDelta) {
 		in := pool.Pick()
 		args := spec.GenArgs(rng)
 		res := fl.platform.Invoke(NewRequest(fn, spec, in, args))
@@ -102,7 +104,7 @@ func (fl *FaaSLoad) AddFunctionTenant(name string, spec *Spec, fn *faas.Function
 // AddPipelineTenant registers a tenant running a pipeline.
 func (fl *FaaSLoad) AddPipelineTenant(name string, pl *Pipeline, pool *InputPool, mean time.Duration, periodic bool) {
 	st := &tenantState{report: TenantReport{Name: name}, mean: mean, period: periodic}
-	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+	st.run = func(id string) (time.Duration, *statsDelta) {
 		in := pool.Pick()
 		res := pl.Run(fl.platform, in, id)
 		e, t, l := res.Phases()
@@ -172,7 +174,7 @@ func (fl *FaaSLoad) Start(window time.Duration) {
 				fl.env.Sleep(wait)
 				seq++
 				id := fmt.Sprintf("%s-%d", prefix, seq)
-				dur, delta := st.run(rng, id)
+				dur, delta := st.run(id)
 				st.lat.Add(dur)
 				st.mu.Lock()
 				st.report.Invocations++
@@ -217,7 +219,7 @@ func (fl *FaaSLoad) AddTraceTenant(name string, spec *Spec, fn *faas.Function, p
 	st := &tenantState{report: TenantReport{Name: name}}
 	st.schedule = append([]time.Duration{}, offsets...)
 	sort.Slice(st.schedule, func(i, j int) bool { return st.schedule[i] < st.schedule[j] })
-	st.run = func(r *rand.Rand, id string) (time.Duration, *statsDelta) {
+	st.run = func(id string) (time.Duration, *statsDelta) {
 		in := pool.Pick()
 		args := spec.GenArgs(rng)
 		res := fl.platform.Invoke(NewRequest(fn, spec, in, args))

@@ -1,0 +1,121 @@
+// Command benchdiff compares two BENCH_sim.json perf snapshots (see
+// cmd/ofc-bench -benchout) and fails when the new one regresses the
+// old by more than a threshold.
+//
+// Usage:
+//
+//	go run ./scripts OLD.json NEW.json [-max-regress 0.20]
+//
+// Micro-benchmarks are compared on ns/op and allocs/op, experiments on
+// wall-clock. Sub-millisecond experiment timings and sub-nanosecond
+// deltas sit inside host noise and are ignored, so the gate only trips
+// on real slowdowns. Exit status 1 lists every regression.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+type expEntry struct {
+	ID     string  `json:"id"`
+	WallMs float64 `json:"wall_ms"`
+}
+
+type benchFile struct {
+	Micro       []benchEntry `json:"micro"`
+	Experiments []expEntry   `json:"experiments"`
+	TotalWallMs float64      `json:"total_wall_ms"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20, "allowed fractional slowdown before failing")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress 0.20] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldF, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	newF, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var regressions []string
+	check := func(name string, oldV, newV, floor float64) {
+		if oldV < floor || newV < floor {
+			return // inside measurement noise
+		}
+		ratio := newV/oldV - 1
+		verdict := "ok"
+		if ratio > *maxRegress {
+			verdict = "REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Printf("%-40s %12.2f -> %12.2f  (%+6.1f%%)  %s\n", name, oldV, newV, ratio*100, verdict)
+	}
+
+	newMicro := map[string]benchEntry{}
+	for _, e := range newF.Micro {
+		newMicro[e.Name] = e
+	}
+	for _, o := range oldF.Micro {
+		n, ok := newMicro[o.Name]
+		if !ok {
+			fmt.Printf("%-40s dropped from new snapshot\n", "micro/"+o.Name)
+			continue
+		}
+		check("micro/"+o.Name+"/ns_op", o.NsPerOp, n.NsPerOp, 1)
+		// Allocation counts are deterministic, so any increase at all is
+		// meaningful; the shared threshold still decides pass/fail.
+		check("micro/"+o.Name+"/allocs_op", o.AllocsPerOp, n.AllocsPerOp, 0.5)
+	}
+
+	newExp := map[string]expEntry{}
+	for _, e := range newF.Experiments {
+		newExp[e.ID] = e
+	}
+	for _, o := range oldF.Experiments {
+		n, ok := newExp[o.ID]
+		if !ok {
+			fmt.Printf("%-40s dropped from new snapshot\n", "exp/"+o.ID)
+			continue
+		}
+		check("exp/"+o.ID+"/wall_ms", o.WallMs, n.WallMs, 1)
+	}
+	check("total_wall_ms", oldF.TotalWallMs, newF.TotalWallMs, 1)
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d regression(s) beyond %.0f%%:\n", len(regressions), *maxRegress*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nno regressions beyond threshold")
+}
