@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard clean
+.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload clean
 
 all: check
 
 # The default gate: build, vet, the determinism/correctness analyzers,
-# full tests, then the race detector over the concurrency-heavy
-# packages (cache cluster, proxy/resilience, chaos).
-check: build vet lint test test-race
+# full tests, the race detector over the concurrency-heavy packages
+# (cache cluster, proxy/resilience, chaos), then the end-to-end
+# overload drill.
+check: build vet lint test test-race smoke-overload
 
 build:
 	$(GO) build ./...
@@ -61,6 +62,12 @@ repro:
 
 scorecard:
 	$(GO) run ./cmd/ofc-bench -exp summary
+
+# End-to-end degradation drill: 5x tenant spike + mid-spike node crash.
+# The drill must shed load, walk Normal->Brownout->Shed and back, keep
+# retries under the budget cap and lose no acknowledged write.
+smoke-overload:
+	$(GO) run ./cmd/ofc-bench -exp overload -quick
 
 clean:
 	$(GO) clean ./...

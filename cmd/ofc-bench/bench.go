@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"ofc/internal/experiments"
 	"ofc/internal/sim"
 )
 
@@ -25,14 +26,25 @@ type ExpEntry struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+// QualityEntry is a deterministic behavioral metric (virtual-clock
+// counters, not host timings): same seed, same value on every machine,
+// so benchdiff can gate on it with zero noise floor.
+type QualityEntry struct {
+	Name         string  `json:"name"`
+	Value        float64 `json:"value"`
+	HigherBetter bool    `json:"higher_better"`
+}
+
 // BenchFile is the BENCH_sim.json schema: scheduler micro-benchmarks
-// plus per-experiment wall-clock, the perf trajectory future changes
-// regress against via scripts/benchdiff.go.
+// plus per-experiment wall-clock and deterministic quality metrics,
+// the perf trajectory future changes regress against via
+// scripts/benchdiff.go.
 type BenchFile struct {
-	GoMaxProcs  int          `json:"gomaxprocs"`
-	Micro       []BenchEntry `json:"micro"`
-	Experiments []ExpEntry   `json:"experiments"`
-	TotalWallMs float64      `json:"total_wall_ms"`
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Micro       []BenchEntry   `json:"micro"`
+	Experiments []ExpEntry     `json:"experiments"`
+	Quality     []QualityEntry `json:"quality,omitempty"`
+	TotalWallMs float64        `json:"total_wall_ms"`
 }
 
 // writeBenchFile runs the scheduler micro-benchmarks and writes the
@@ -42,6 +54,7 @@ func writeBenchFile(path string, exps []ExpEntry, total time.Duration) error {
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Micro:       microBenchmarks(),
 		Experiments: exps,
+		Quality:     qualityMetrics(),
 		TotalWallMs: float64(total.Microseconds()) / 1e3,
 	}
 	data, err := json.MarshalIndent(f, "", "  ")
@@ -49,6 +62,29 @@ func writeBenchFile(path string, exps []ExpEntry, total time.Duration) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// qualityMetrics runs the overload drill (quick mode, fixed seed) and
+// extracts its headline counters. Everything here lives on the virtual
+// clock, so the numbers are bit-identical across hosts — a drop in
+// goodput or a jump in spike p99 is a behavior change, not noise.
+func qualityMetrics() []QualityEntry {
+	_, res := experiments.Overload(1, true)
+	var good int64
+	for _, t := range res.Tenants {
+		good += t.Good
+	}
+	healthy := 0.0
+	if res.Healthy() {
+		healthy = 1
+	}
+	return []QualityEntry{
+		{Name: "overload/goodput", Value: float64(good), HigherBetter: true},
+		{Name: "overload/spike_p99_ms", Value: float64(res.SpikeP99.Microseconds()) / 1e3},
+		{Name: "overload/total_retries", Value: float64(res.TotalRetries())},
+		{Name: "overload/lost_outputs", Value: float64(res.LostOutputs)},
+		{Name: "overload/healthy", Value: healthy, HigherBetter: true},
+	}
 }
 
 // microBenchmarks exercises the scheduler hot paths through

@@ -12,7 +12,7 @@
 // Experiment ids follow DESIGN.md's per-experiment index: summary,
 // fig2, fig3, table1, benefit, fig5, fig6, maturation, fig7, fig7x5,
 // fig8, migration, fig9 (also prints fig10 and table2), macro24,
-// ablations, resilience, chaos, chunking.
+// ablations, resilience, chaos, overload, chunking.
 //
 // Independent experiments run concurrently on a GOMAXPROCS-bounded
 // worker pool (-jobs overrides); each experiment buffers its output
@@ -249,6 +249,11 @@ func registry() []experiment {
 			for _, line := range res.Applied {
 				o.printf("  event: %s\n", line)
 			}
+		}},
+		{"overload", "5x tenant spike + mid-spike crash: admission, budgets, degradation states", func(o *output, seed int64, quick bool) {
+			tab, res := experiments.Overload(seed, quick)
+			o.emit(tab)
+			o.printf("  healthy: %v\n", res.Healthy())
 		}},
 		{"chunking", "large-object striping extension (§6.1 future work)", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.ChunkingExtension(seed)

@@ -44,6 +44,11 @@ const (
 	PacketLoss
 	// DiskSlow multiplies the node's disk service time by DiskFactor.
 	DiskSlow
+	// Hook runs an arbitrary callback at its scheduled time — the
+	// escape hatch for drills that need non-fabric actions (load
+	// spikes, configuration flips) phased against fabric faults on the
+	// same deterministic timeline.
+	Hook
 )
 
 // String names the event kind for logs and reports.
@@ -65,6 +70,8 @@ func (k Kind) String() string {
 		return "packet-loss"
 	case DiskSlow:
 		return "disk-slow"
+	case Hook:
+		return "hook"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -82,6 +89,10 @@ type Event struct {
 	BandwidthFactor float64 // DegradeLink
 	LossProb        float64 // PacketLoss
 	DiskFactor      float64 // DiskSlow
+
+	// Hook events only: Name labels the log entry, Fn runs at At.
+	Name string
+	Fn   func()
 }
 
 // String renders one event for the applied-event log.
@@ -95,6 +106,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%v %s n%d<->n%d p=%.3f", e.At, e.Kind, e.Node, e.Peer, e.LossProb)
 	case DiskSlow:
 		return fmt.Sprintf("%v %s n%d x%.1f", e.At, e.Kind, e.Node, e.DiskFactor)
+	case Hook:
+		return fmt.Sprintf("%v %s %s", e.At, e.Kind, e.Name)
 	default:
 		return fmt.Sprintf("%v %s n%d", e.At, e.Kind, e.Node)
 	}
@@ -156,6 +169,25 @@ func (s *Schedule) PacketLossAt(t time.Duration, a, b simnet.NodeID, p float64) 
 // factor 1 restores full speed.
 func (s *Schedule) DiskSlowAt(t time.Duration, node simnet.NodeID, factor float64) *Schedule {
 	return s.Add(Event{At: t, Kind: DiskSlow, Node: node, DiskFactor: factor})
+}
+
+// HookAt schedules a named callback at t.
+func (s *Schedule) HookAt(t time.Duration, name string, fn func()) *Schedule {
+	return s.Add(Event{At: t, Kind: Hook, Name: name, Fn: fn})
+}
+
+// OverloadCrash builds the combined overload+crash drill: spike and
+// calm callbacks phased around a mid-spike crash/restart of victim.
+// The spike callback fires at start, the victim crashes at
+// start+crashAfter and restarts downtime later, and calm fires at
+// start+spikeLen — the schedule the overload state machine must ride
+// out and then re-enter Normal from.
+func (s *Schedule) OverloadCrash(start, spikeLen, crashAfter, downtime time.Duration, victim simnet.NodeID, spike, calm func()) *Schedule {
+	s.HookAt(start, "spike", spike)
+	s.CrashAt(start+crashAfter, victim)
+	s.RestartAt(start+crashAfter+downtime, victim)
+	s.HookAt(start+spikeLen, "calm", calm)
+	return s
 }
 
 // KillRotation appends a crash of each node in victims in turn, one
@@ -241,6 +273,10 @@ func (inj *Injector) apply(e Event) {
 		inj.net.SetPacketLoss(e.Node, e.Peer, e.LossProb)
 	case DiskSlow:
 		inj.net.SetDiskFactor(e.Node, e.DiskFactor)
+	case Hook:
+		if e.Fn != nil {
+			e.Fn()
+		}
 	}
 	inj.mu.Lock()
 	inj.applied = append(inj.applied, fmt.Sprintf("%v: %s", inj.env.Now(), e))

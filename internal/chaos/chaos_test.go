@@ -161,3 +161,69 @@ func TestInjectorDeterministicReplay(t *testing.T) {
 		}
 	}
 }
+
+func TestHookEventsFireOnSchedule(t *testing.T) {
+	env, net, a, _ := testNet(t)
+	var fired []string
+	sched := NewSchedule().
+		HookAt(2*time.Second, "late", func() { fired = append(fired, "late@"+env.Now().String()) }).
+		HookAt(time.Second, "early", func() { fired = append(fired, "early@"+env.Now().String()) })
+	_ = a
+	inj := NewInjector(net, sched, 1)
+	inj.Start()
+	env.Go(func() { env.Sleep(5 * time.Second) })
+	env.Run()
+	if len(fired) != 2 || fired[0] != "early@1s" || fired[1] != "late@2s" {
+		t.Errorf("fired=%v, want [early@1s late@2s]", fired)
+	}
+	log := inj.Applied()
+	if len(log) != 2 || !strings.Contains(log[0], "hook early") || !strings.Contains(log[1], "hook late") {
+		t.Errorf("applied log=%v", log)
+	}
+}
+
+func TestOverloadCrashBuilderShape(t *testing.T) {
+	spike := func() {}
+	calm := func() {}
+	s := NewSchedule().OverloadCrash(20*time.Second, 30*time.Second, 10*time.Second, 5*time.Second, 7, spike, calm)
+	ev := s.Events()
+	if len(ev) != 4 {
+		t.Fatalf("events=%d, want 4", len(ev))
+	}
+	// spike hook, crash, restart, calm hook — in time order.
+	if ev[0].Kind != Hook || ev[0].Name != "spike" || ev[0].At != 20*time.Second {
+		t.Errorf("event 0 = %+v, want spike hook at 20s", ev[0])
+	}
+	if ev[1].Kind != Crash || ev[1].Node != 7 || ev[1].At != 30*time.Second {
+		t.Errorf("event 1 = %+v, want crash of node 7 at 30s", ev[1])
+	}
+	if ev[2].Kind != Restart || ev[2].Node != 7 || ev[2].At != 35*time.Second {
+		t.Errorf("event 2 = %+v, want restart of node 7 at 35s", ev[2])
+	}
+	if ev[3].Kind != Hook || ev[3].Name != "calm" || ev[3].At != 50*time.Second {
+		t.Errorf("event 3 = %+v, want calm hook at 50s", ev[3])
+	}
+}
+
+func TestOverloadCrashRunsHooksAroundCrash(t *testing.T) {
+	env, net, a, _ := testNet(t)
+	var order []string
+	sched := NewSchedule().OverloadCrash(time.Second, 4*time.Second, 2*time.Second, time.Second, a,
+		func() { order = append(order, "spike") },
+		func() { order = append(order, "calm") })
+	inj := NewInjector(net, sched, 1)
+	inj.OnCrash = func(n simnet.NodeID) { order = append(order, "crash") }
+	inj.OnRestart = func(n simnet.NodeID) { order = append(order, "restart") }
+	inj.Start()
+	env.Go(func() { env.Sleep(10 * time.Second) })
+	env.Run()
+	want := []string{"spike", "crash", "restart", "calm"}
+	if len(order) != len(want) {
+		t.Fatalf("order=%v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order=%v, want %v", order, want)
+		}
+	}
+}

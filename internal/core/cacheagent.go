@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -96,6 +97,7 @@ type CacheAgent struct {
 	slack        int64
 	lastReserved int64
 	churn        []int64
+	brownout     bool
 	metrics      AgentMetrics
 }
 
@@ -291,8 +293,26 @@ func (a *CacheAgent) adjustSlack() {
 	a.slack = s
 }
 
-// errReclaim is returned when the agent cannot free enough memory.
-var errReclaim = errors.New("core: cache reclaim failed")
+// ErrReclaim is the sentinel for a failed cache reclaim: the agent
+// could not free the requested memory. Returned errors wrap it with
+// context; match with errors.Is (never ==, per the senterr lint rule).
+// The overload degradation controller consumes the matching
+// ReclaimFailures counter as one of its pressure signals.
+var ErrReclaim = errors.New("core: cache reclaim failed")
+
+// SetBrownout switches the agent's eviction posture. Entering brownout
+// triggers an immediate tightened sweep (fresh admissions lose their
+// grace window, the idle bound shortens), so cache memory flows back
+// to sandboxes while pressure lasts.
+func (a *CacheAgent) SetBrownout(on bool) {
+	a.mu.Lock()
+	was := a.brownout
+	a.brownout = on
+	a.mu.Unlock()
+	if on && !was {
+		a.env.Go(func() { a.periodicEviction() })
+	}
+}
 
 // Reclaim implements the §6.4 fast-reclamation path, invoked by the
 // platform (as MemoryGovernor) when a sandbox needs memory the cache
@@ -307,7 +327,7 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 		a.mu.Lock()
 		a.metrics.ReclaimFailures++
 		a.mu.Unlock()
-		return 0, errReclaim
+		return 0, fmt.Errorf("node %d: need %d > grant %d: %w", a.node, need, grant, ErrReclaim)
 	}
 	used, _ := a.kv.Usage(a.node)
 	freeInGrant := grant - used
@@ -321,7 +341,8 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 			a.mu.Lock()
 			a.metrics.ReclaimFailures++
 			a.mu.Unlock()
-			return time.Duration(a.env.Now() - start), errReclaim
+			return time.Duration(a.env.Now() - start),
+				fmt.Errorf("node %d: freed only %d of %d needed: %w", a.node, grant-used2, need, ErrReclaim)
 		}
 	}
 
@@ -361,13 +382,23 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 // survive their first window. Dirty objects are written back first.
 func (a *CacheAgent) periodicEviction() {
 	now := a.env.Now()
+	// Brownout tightens the criteria: no grace window for fresh
+	// admissions and a quarter of the idle bound, so only the hot set
+	// survives while memory is contended.
+	a.mu.Lock()
+	brown := a.brownout
+	a.mu.Unlock()
+	ageFloor, maxIdle := a.cfg.EvictionEvery, a.cfg.MaxIdle
+	if brown {
+		ageFloor, maxIdle = 0, a.cfg.MaxIdle/4
+	}
 	for _, o := range a.kv.Objects(a.node) {
 		age := now - o.Meta.Created
-		if age < a.cfg.EvictionEvery {
+		if age < ageFloor {
 			continue
 		}
 		idle := now - o.Meta.LastAccess
-		if o.Meta.NAccess >= a.cfg.MinAccess && idle <= a.cfg.MaxIdle {
+		if o.Meta.NAccess >= a.cfg.MinAccess && idle <= maxIdle {
 			continue
 		}
 		key := o.Key
@@ -416,7 +447,7 @@ func (g *Governor) Agent(node simnet.NodeID) *CacheAgent {
 func (g *Governor) Reclaim(node simnet.NodeID, need int64) (time.Duration, error) {
 	a := g.Agent(node)
 	if a == nil {
-		return 0, errReclaim
+		return 0, fmt.Errorf("node %d: no cache agent: %w", node, ErrReclaim)
 	}
 	return a.Reclaim(need)
 }

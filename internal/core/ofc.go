@@ -68,6 +68,9 @@ type System struct {
 	Trainer *ModelTrainer
 	RC      *RCLib
 	Gov     *Governor
+	// Overload is the overload-control subsystem; nil until
+	// EnableOverload is called.
+	Overload *OverloadControl
 
 	CtrlNode    simnet.NodeID
 	StorageNode simnet.NodeID
@@ -153,6 +156,9 @@ func (s *System) Start() {
 		a.Start()
 	}
 	s.Trainer.Start()
+	if s.Overload != nil {
+		s.Overload.Controller.Start()
+	}
 }
 
 // Run starts the system, executes body as a simulation process, lets

@@ -59,6 +59,12 @@ type RCLib struct {
 	// objects, no eager persistors; writes propagate lazily on
 	// eviction, persistence rides on the cache's replication.
 	relaxed []string
+	// brownout is the overload controller's degradation switch: miss
+	// admissions stop and non-intermediate writes take the synchronous
+	// durable RSDS path (per-request Passthrough/CacheOff), so the
+	// cache keeps only its existing hot set and the write path stops
+	// depending on cache capacity.
+	brownout bool
 
 	// res holds the resilience constants (the Resilient middleware has
 	// its own copy; the proxy keeps one for PersistRetryDelay).
@@ -81,6 +87,10 @@ type RCLib struct {
 	// Resilient middleware)
 	fallbackReads  int64
 	fallbackWrites int64
+	// brownout counters: admissions skipped and writes diverted to the
+	// durable path while degraded.
+	brownoutSkips    int64
+	brownoutBypasses int64
 }
 
 // NewRCLib builds the proxy over a storage engine and the RSDS. Any
@@ -106,6 +116,7 @@ func NewRCLib(env *sim.Env, backend store.Backend, rsds *objstore.Store) *RCLib 
 	}
 	rc.chunked = store.NewChunked(b, store.DefaultChunkSize)
 	rc.inst = store.NewInstrumented(rc.chunked)
+	rc.inst.AttachClock(env)
 	rc.be = rc.inst
 
 	// Consistency webhooks for non-FaaS clients (§6.2).
@@ -158,6 +169,35 @@ func (rc *RCLib) BreakerState(node simnet.NodeID) (failures int, open bool) {
 		return 0, false
 	}
 	return rc.resil.BreakerState(node)
+}
+
+// SetRetryGate installs the shared retry budget on the proxy's
+// resilience middleware (no-op for durable engines, which never retry).
+func (rc *RCLib) SetRetryGate(g store.RetryGate) {
+	if rc.resil != nil {
+		rc.resil.SetRetryGate(g)
+	}
+}
+
+// SetBrownout switches the proxy's degradation mode (see the brownout
+// field).
+func (rc *RCLib) SetBrownout(on bool) {
+	rc.mu.Lock()
+	rc.brownout = on
+	rc.mu.Unlock()
+}
+
+// inBrownout reads the degradation switch.
+func (rc *RCLib) inBrownout() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.brownout
+}
+
+// StoreLatencyP99 reports the p99 of recent backend op latencies (the
+// degradation controller's store-health signal).
+func (rc *RCLib) StoreLatencyP99() time.Duration {
+	return rc.inst.LatencyQuantile(0.99)
 }
 
 // persistRetryDelay reads the current retry delay under the lock.
@@ -317,6 +357,14 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 	if rerr != nil {
 		return faas.Blob{}, rerr
 	}
+	if opts.ShouldCache && rc.inBrownout() {
+		// Brownout: no new admissions — the cache serves (and keeps)
+		// only what it already holds.
+		rc.statsMu.Lock()
+		rc.brownoutSkips++
+		rc.statsMu.Unlock()
+		return blob, nil
+	}
 	if opts.ShouldCache && !unavailable && blob.Size <= rc.base.MaxObjectSize() {
 		// Admit off the critical path; a failed admission (no space)
 		// is only a lost opportunity. Skipped while the cache is
@@ -362,6 +410,19 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 		return err
 	}
 	maxObj := rc.be.MaxObjectSize()
+	// Brownout: non-intermediate writes take the synchronous durable
+	// RSDS path — per-request CacheOff. Durable on ack, no shadow, no
+	// persistor, no cache capacity consumed. Intermediates stay on the
+	// cache path: they are never persisted and pushing them to the
+	// RSDS would cost more than it frees.
+	if opts.Kind != faas.KindIntermediate && rc.inBrownout() {
+		rc.rsds.Put(caller, key, blob, nil, false)
+		rc.statsMu.Lock()
+		rc.bypassWrites++
+		rc.brownoutBypasses++
+		rc.statsMu.Unlock()
+		return nil
+	}
 	// Pipeline intermediates are cached regardless of the benefit
 	// verdict (§6.3 presumes they live in the cache and are discarded
 	// when the pipeline ends); everything else respects the Predictor.
@@ -549,6 +610,11 @@ type CacheStats struct {
 	CacheRetries   int64
 	CacheTimeouts  int64
 	BreakerTrips   int64
+	// Overload-control counters: storage retries the budget refused,
+	// admissions skipped and writes diverted while in brownout.
+	RetryDenied      int64
+	BrownoutSkips    int64
+	BrownoutBypasses int64
 }
 
 // Stats returns a snapshot of the proxy counters.
@@ -566,7 +632,8 @@ func (rc *RCLib) Stats() CacheStats {
 		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
 		FallbackReads: rc.fallbackReads, FallbackWrites: rc.fallbackWrites,
 		CacheRetries: rs.Retries, CacheTimeouts: rs.Timeouts,
-		BreakerTrips: rs.BreakerTrips,
+		BreakerTrips: rs.BreakerTrips, RetryDenied: rs.BudgetDenied,
+		BrownoutSkips: rc.brownoutSkips, BrownoutBypasses: rc.brownoutBypasses,
 	}
 }
 

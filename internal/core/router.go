@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"ofc/internal/faas"
 	"ofc/internal/store"
 )
@@ -21,11 +23,31 @@ import (
 // capacity-based routing when the engine has no placement (cache-off).
 type Router struct {
 	pv store.PlacementView // nil when the backend has no placement
+
+	mu       sync.Mutex
+	brownout bool
 }
 
 // NewRouter builds the OFC routing policy over a placement view (nil
 // disables locality).
 func NewRouter(pv store.PlacementView) *Router { return &Router{pv: pv} }
+
+// SetBrownout switches locality routing off (on=true) or back on. In
+// brownout the data-locality pull concentrates load exactly where
+// memory is already contended, so the overload controller trades hit
+// locality for load spreading.
+func (r *Router) SetBrownout(on bool) {
+	r.mu.Lock()
+	r.brownout = on
+	r.mu.Unlock()
+}
+
+// localityOff reports whether the locality pull is suspended.
+func (r *Router) localityOff() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.brownout
+}
 
 // dataNode returns the node mastering the majority of the request's
 // input *bytes* — multi-input functions are pulled toward the node
@@ -33,7 +55,7 @@ func NewRouter(pv store.PlacementView) *Router { return &Router{pv: pv} }
 // to be. Ties break toward the lowest node ID so routing stays
 // deterministic. Returns -1 when nothing is cached.
 func (r *Router) dataNode(keys []string) int {
-	if r.pv == nil || len(keys) == 0 {
+	if r.pv == nil || len(keys) == 0 || r.localityOff() {
 		return -1
 	}
 	weight := make(map[int]int64)

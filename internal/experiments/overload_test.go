@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverloadDrillHealthy runs the combined overload+crash drill and
+// checks the graceful-degradation contract end to end: load is shed,
+// the state machine reaches Shed and re-enters Normal (hysteresis, no
+// flapping), retries stay under the budget cap, the non-spiking
+// tenants keep their goodput, and no acknowledged write is lost.
+func TestOverloadDrillHealthy(t *testing.T) {
+	table, res := Overload(1, true)
+	t.Log("\n" + table.String())
+	if res.Invocations == 0 {
+		t.Fatal("no invocations ran")
+	}
+	if res.LostOutputs > 0 {
+		t.Fatalf("%d acknowledged outputs lost", res.LostOutputs)
+	}
+	if res.Shed == 0 {
+		t.Error("gate never shed load; the spike did not overload the system")
+	}
+	if !res.ReachedShed {
+		t.Errorf("state machine never reached shed: %v", res.Transitions)
+	}
+	if res.FinalState != "normal" {
+		t.Errorf("state machine did not re-enter normal: final=%s transitions=%v", res.FinalState, res.Transitions)
+	}
+	if n := len(res.Transitions); n < 2 || n > 16 {
+		t.Errorf("suspicious transition count %d (flapping?): %v", n, res.Transitions)
+	}
+	if got, cap := float64(res.TotalRetries()), res.BudgetCap; got > cap {
+		t.Errorf("retry storm: %v retries > budget cap %v", got, cap)
+	}
+	for _, tl := range res.Tenants {
+		if tl.Good == 0 {
+			t.Errorf("tenant %s starved: %+v", tl.Name, tl)
+		}
+		if tl.Name != res.SpikeTenant && tl.Good*10 < tl.Offered*6 {
+			t.Errorf("innocent tenant %s lost goodput: %+v", tl.Name, tl)
+		}
+	}
+	if !res.Healthy() {
+		t.Errorf("Healthy() = false\n%s", table.String())
+	}
+}
+
+// TestOverloadDeterministic replays the drill with the same seed and
+// requires the full report — every counter, latency and transition
+// timestamp — to be identical.
+func TestOverloadDeterministic(t *testing.T) {
+	t1, _ := Overload(7, true)
+	t2, _ := Overload(7, true)
+	if t1.String() != t2.String() {
+		t.Errorf("same seed, different runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", t1.String(), t2.String())
+	}
+}
+
+// TestOverloadTimelineShape pins the hysteresis contract on the
+// recorded transitions: the first leaves normal, each transition's
+// source matches the previous target (a connected walk), downward
+// moves are single steps, and the walk ends back at normal.
+func TestOverloadTimelineShape(t *testing.T) {
+	_, res := Overload(3, true)
+	order := map[string]int{"normal": 0, "brownout": 1, "shed": 2}
+	prev := "normal"
+	for i, tr := range res.Transitions {
+		parts := strings.Split(tr, "->")
+		if len(parts) != 2 {
+			t.Fatalf("malformed transition %q", tr)
+		}
+		from, to := parts[0], parts[1]
+		if from != prev {
+			t.Errorf("transition %d (%s) does not chain from previous state %s", i, tr, prev)
+		}
+		if order[to] < order[from] && order[from]-order[to] != 1 {
+			t.Errorf("downward transition %q skips a level", tr)
+		}
+		prev = to
+	}
+	if prev != "normal" {
+		t.Errorf("walk ends at %s, want normal (transitions: %v)", prev, res.Transitions)
+	}
+}

@@ -149,6 +149,22 @@ type MemoryGovernor interface {
 	Reclaim(node simnet.NodeID, need int64) (time.Duration, error)
 }
 
+// AdmissionController gates invocations at the controller before any
+// work is done (the overload layer's bounded queue). Admit blocks the
+// calling process until the request may proceed, returning a release
+// function the platform calls on completion; a non-nil error rejects
+// the invocation without running it.
+type AdmissionController interface {
+	Admit(req *Request) (release func(), err error)
+}
+
+// RetryPolicy arbitrates re-executions — OOM retries and reroutes of
+// lost activations — so failures cannot amplify into retry storms
+// (the overload layer's shared retry budget).
+type RetryPolicy interface {
+	AllowRetry(req *Request, cause error) bool
+}
+
 // Result is the outcome of an invocation.
 type Result struct {
 	Start, End sim.Time
@@ -193,6 +209,10 @@ var (
 	ErrNoCapacity   = errors.New("faas: no invoker has capacity")
 	ErrUnregistered = errors.New("faas: function not registered")
 	ErrInvokerDown  = errors.New("faas: invoker node went down")
+	// ErrRetryBudget marks an invocation whose re-execution the
+	// RetryPolicy denied; it wraps the underlying cause (ErrOOM or
+	// ErrInvokerDown), so errors.Is matches both.
+	ErrRetryBudget = errors.New("faas: retry denied by retry budget")
 )
 
 // Config carries the platform's timing constants, calibrated to the
@@ -266,6 +286,10 @@ type Platform struct {
 	Router   Router
 	Observer CompletionObserver
 	Governor MemoryGovernor
+	// Admission gates invocations before any work; Retry arbitrates
+	// re-executions (overload control hooks; nil = unbounded).
+	Admission AdmissionController
+	Retry     RetryPolicy
 	// MonitorEnabled turns on the §5.3 in-flight memory rescue.
 	MonitorEnabled bool
 
@@ -286,6 +310,11 @@ type Stats struct {
 	// their invoker died mid-run (the controller resubmits, as OWK
 	// does for lost activations).
 	Reroutes int64
+	// Shed counts invocations rejected by the AdmissionController
+	// before running; RetryDenied counts re-executions refused by the
+	// RetryPolicy (the invocation then fails with ErrRetryBudget).
+	Shed        int64
+	RetryDenied int64
 }
 
 // lockedStats pairs the counters with their lock.

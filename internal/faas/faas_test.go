@@ -815,3 +815,128 @@ func TestOOMRetrySeesWrappedErrors(t *testing.T) {
 		t.Errorf("stats=%+v, want exactly one OOM kill and one retry", st)
 	}
 }
+
+// shedGate is a test AdmissionController that rejects every request
+// with a fixed error.
+type shedGate struct{ err error }
+
+func (g shedGate) Admit(req *Request) (func(), error) { return nil, g.err }
+
+// denyRetry is a RetryPolicy refusing every re-execution.
+type denyRetry struct{}
+
+func (denyRetry) AllowRetry(req *Request, cause error) bool { return false }
+
+func TestAdmissionShedAccounting(t *testing.T) {
+	tb := newTestbed(1, 8<<30)
+	errShed := errors.New("test: shed")
+	tb.p.Admission = shedGate{err: errShed}
+	fn := emptyFn(256 << 20)
+	tb.p.Register(fn)
+	var res *Result
+	tb.env.Go(func() {
+		res = tb.p.Invoke(&Request{Function: fn})
+	})
+	tb.env.Run()
+	if !errors.Is(res.Err, errShed) {
+		t.Fatalf("err=%v, want the gate's shed error", res.Err)
+	}
+	st := tb.p.Stats()
+	if st.Shed != 1 {
+		t.Errorf("Shed=%d, want 1", st.Shed)
+	}
+	// A refusal is not a platform failure: nothing ran, nothing broke.
+	if st.Failures != 0 {
+		t.Errorf("Failures=%d, want 0 for a shed request", st.Failures)
+	}
+	if st.ColdStarts != 0 || st.WarmStarts != 0 {
+		t.Errorf("shed request started a sandbox: %+v", st)
+	}
+	// The activation log still records the refused invocation.
+	acts := tb.p.Activations(10)
+	if len(acts) != 1 {
+		t.Fatalf("activations=%d, want 1", len(acts))
+	}
+	if acts[0].Error == "" {
+		t.Error("activation record lost the shed error")
+	}
+}
+
+func TestOOMRetryDeniedByBudget(t *testing.T) {
+	tb := newTestbed(1, 8<<30)
+	tb.p.Retry = denyRetry{}
+	fn := etlFn("hungry", 50*time.Millisecond, 300<<20) // OOMs under 128 MB advice
+	tb.p.Register(fn)
+	tb.p.Advisor = advisorFunc(func(req *Request) Advice {
+		return Advice{Mem: 128 << 20, ShouldCache: false, Use: true}
+	})
+	var res *Result
+	tb.env.Go(func() {
+		tb.store.Put(2, "in/a", kvstore.Synthetic(1<<10), nil, false)
+		res = tb.p.Invoke(&Request{Function: fn, InputKeys: []string{"in/a"}})
+	})
+	tb.env.Run()
+	// The denial surfaces as a typed error wrapping the OOM cause.
+	if !errors.Is(res.Err, ErrRetryBudget) {
+		t.Fatalf("err=%v, want ErrRetryBudget match", res.Err)
+	}
+	if !errors.Is(res.Err, ErrOOM) {
+		t.Errorf("err=%v does not preserve the ErrOOM cause", res.Err)
+	}
+	if res.Retried {
+		t.Error("denied retry still marked Retried")
+	}
+	st := tb.p.Stats()
+	// The kill counts once; the retry that never ran does not.
+	if st.OOMKills != 1 || st.Retries != 0 || st.RetryDenied != 1 {
+		t.Errorf("stats=%+v, want OOMKills=1 Retries=0 RetryDenied=1", st)
+	}
+	if st.Failures != 1 {
+		t.Errorf("Failures=%d, want 1 (the invocation did fail)", st.Failures)
+	}
+	// The activation record is kept for the failed attempt.
+	if acts := tb.p.Activations(10); len(acts) != 1 || acts[0].Error == "" {
+		t.Errorf("activation log: %+v", acts)
+	}
+}
+
+func TestOOMRetryAllowedByPolicyCountsOnce(t *testing.T) {
+	tb := newTestbed(1, 8<<30)
+	var consulted int
+	tb.p.Retry = retryFunc(func(req *Request, cause error) bool {
+		consulted++
+		if !errors.Is(cause, ErrOOM) {
+			t.Errorf("policy consulted with cause=%v, want ErrOOM", cause)
+		}
+		return true
+	})
+	fn := etlFn("hungry", 50*time.Millisecond, 300<<20)
+	tb.p.Register(fn)
+	tb.p.Advisor = advisorFunc(func(req *Request) Advice {
+		return Advice{Mem: 128 << 20, ShouldCache: false, Use: true}
+	})
+	var res *Result
+	tb.env.Go(func() {
+		tb.store.Put(2, "in/a", kvstore.Synthetic(1<<10), nil, false)
+		res = tb.p.Invoke(&Request{Function: fn, InputKeys: []string{"in/a"}})
+	})
+	tb.env.Run()
+	if res.Err != nil {
+		t.Fatalf("allowed retry failed: %v", res.Err)
+	}
+	if !res.Retried {
+		t.Error("not marked retried")
+	}
+	if consulted != 1 {
+		t.Errorf("policy consulted %d times, want 1", consulted)
+	}
+	st := tb.p.Stats()
+	if st.OOMKills != 1 || st.Retries != 1 || st.RetryDenied != 0 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+// retryFunc adapts a function to RetryPolicy.
+type retryFunc func(req *Request, cause error) bool
+
+func (f retryFunc) AllowRetry(req *Request, cause error) bool { return f(req, cause) }

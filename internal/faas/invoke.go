@@ -2,6 +2,7 @@ package faas
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"ofc/internal/sim"
@@ -31,6 +32,29 @@ func (p *Platform) Invoke(req *Request) *Result {
 		return res
 	}
 
+	// Overload gate: queue (or reject) before spending any platform
+	// work. The wait shows up in QueueDelay; a shed invocation is
+	// recorded and observed like any other completed activation so the
+	// log stays whole, but it never counts as a platform failure — it
+	// was refused, not broken.
+	if p.Admission != nil {
+		release, err := p.Admission.Admit(req)
+		if err != nil {
+			p.stats.mu.Lock()
+			p.stats.Shed++
+			p.stats.mu.Unlock()
+			res.Err = err
+			res.End = p.env.Now()
+			res.QueueDelay = time.Duration(res.End - res.Start)
+			p.recordActivation(req, res)
+			if p.Observer != nil {
+				p.Observer.OnComplete(req, res)
+			}
+			return res
+		}
+		defer release()
+	}
+
 	// Controller receives the request.
 	p.env.Sleep(p.cfg.ControllerOverhead)
 
@@ -49,19 +73,40 @@ func (p *Platform) Invoke(req *Request) *Result {
 
 	attempt := p.execute(req, wanted, res)
 	if errors.Is(attempt, ErrOOM) {
-		// §5.3: immediate retry with the tenant-booked memory.
+		// The kill happened regardless of what the retry budget says, so
+		// it is counted unconditionally; only the re-execution is
+		// arbitrated. A denied retry surfaces as ErrRetryBudget wrapping
+		// the OOM — typed, not silent — and the activation record below
+		// is written either way.
 		p.stats.mu.Lock()
 		p.stats.OOMKills++
-		p.stats.Retries++
 		p.stats.mu.Unlock()
-		res.Retried = true
-		req.advised = false
-		attempt = p.execute(req, fn.MemoryBooked, res)
+		if p.Retry == nil || p.Retry.AllowRetry(req, attempt) {
+			// §5.3: immediate retry with the tenant-booked memory.
+			p.stats.mu.Lock()
+			p.stats.Retries++
+			p.stats.mu.Unlock()
+			res.Retried = true
+			req.advised = false
+			attempt = p.execute(req, fn.MemoryBooked, res)
+		} else {
+			p.stats.mu.Lock()
+			p.stats.RetryDenied++
+			p.stats.mu.Unlock()
+			attempt = fmt.Errorf("%w: %w", ErrRetryBudget, attempt)
+		}
 	}
 	// A worker dying mid-run loses the activation; the controller
 	// resubmits on a surviving node, bounded so a collapsing cluster
-	// still terminates.
+	// still terminates. Reroutes draw on the same retry budget.
 	for rr := 0; errors.Is(attempt, ErrInvokerDown) && rr < 3; rr++ {
+		if p.Retry != nil && !p.Retry.AllowRetry(req, attempt) {
+			p.stats.mu.Lock()
+			p.stats.RetryDenied++
+			p.stats.mu.Unlock()
+			attempt = fmt.Errorf("%w: %w", ErrRetryBudget, attempt)
+			break
+		}
 		p.stats.mu.Lock()
 		p.stats.Reroutes++
 		p.stats.mu.Unlock()

@@ -1,0 +1,283 @@
+package overload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+// ErrShed is the sentinel for load rejected by admission control.
+// Match with errors.Is; the concrete error is a *ShedError carrying
+// the tenant and the reason.
+var ErrShed = errors.New("overload: request shed")
+
+// ShedError reports one rejected admission.
+type ShedError struct {
+	Tenant string
+	Reason string // "queue-full" or "stale"
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("overload: request shed (tenant=%s, %s)", e.Tenant, e.Reason)
+}
+
+// Unwrap makes errors.Is(err, ErrShed) hold.
+func (e *ShedError) Unwrap() error { return ErrShed }
+
+// AdmissionConfig tunes the admission queue.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of requests allowed past the gate at
+	// once; further arrivals queue.
+	MaxConcurrent int
+	// MaxQueuePerTenant bounds one tenant's queue in Normal/Brownout;
+	// arrivals beyond it are rejected immediately (queue-full).
+	MaxQueuePerTenant int
+	// ShedQueuePerTenant is the tighter per-tenant bound while the
+	// degradation state machine is in Shed.
+	ShedQueuePerTenant int
+	// Target and Interval implement CoDel-style staleness shedding:
+	// once dequeued head sojourn has stayed above Target for Interval,
+	// stale heads are dropped (stale) instead of dispatched, so the
+	// queue sheds standing latency rather than serving dead requests.
+	Target   time.Duration
+	Interval time.Duration
+}
+
+// DefaultAdmissionConfig returns bounds sized for the testbed
+// deployments (a handful of worker nodes, ~100 ms function runtimes).
+func DefaultAdmissionConfig() AdmissionConfig {
+	return AdmissionConfig{
+		MaxConcurrent:      16,
+		MaxQueuePerTenant:  32,
+		ShedQueuePerTenant: 8,
+		Target:             200 * time.Millisecond,
+		Interval:           100 * time.Millisecond,
+	}
+}
+
+// AdmissionStats counts gate outcomes.
+type AdmissionStats struct {
+	Admitted      int64 // passed the gate (fast path or dequeued)
+	ShedQueueFull int64 // rejected at enqueue: tenant queue at bound
+	ShedStale     int64 // dropped at dequeue: CoDel staleness
+	MaxDepth      int   // high-water mark of total queued requests
+}
+
+// waiter is one queued admission request.
+type waiter struct {
+	tenant string
+	enq    sim.Time
+	f      *sim.Future[error]
+}
+
+// tenantQueue is one tenant's FIFO plus its weighted-fair pass value
+// (stride scheduling: pass advances by 1/weight per dispatch; the
+// tenant with the smallest pass dequeues next).
+type tenantQueue struct {
+	q      []*waiter
+	pass   float64
+	weight float64
+}
+
+// Admission is a bounded admission gate with per-tenant weighted-fair
+// dequeue. Admit blocks the calling sim process until a slot frees or
+// the request is shed. All waiting happens on sim futures, so the gate
+// is deterministic under the virtual clock.
+type Admission struct {
+	env *sim.Env
+
+	mu         sync.Mutex
+	cfg        AdmissionConfig
+	level      State
+	inflight   int
+	queued     int
+	tenants    map[string]*tenantQueue
+	virt       float64  // global virtual time: floor for new pass values
+	firstAbove sim.Time // CoDel: since when head sojourn has exceeded Target
+	stats      AdmissionStats
+}
+
+// NewAdmission returns an idle gate bound to env.
+func NewAdmission(env *sim.Env, cfg AdmissionConfig) *Admission {
+	return &Admission{env: env, cfg: cfg, tenants: make(map[string]*tenantQueue)}
+}
+
+// SetWeight sets a tenant's weighted-fair share (default 1). Higher
+// weight dequeues proportionally more often under contention.
+func (a *Admission) SetWeight(tenant string, w float64) {
+	if w <= 0 {
+		panic("overload: non-positive tenant weight")
+	}
+	a.mu.Lock()
+	a.tenantLocked(tenant).weight = w
+	a.mu.Unlock()
+}
+
+// SetLevel tells the gate the current degradation state; in Shed the
+// tighter per-tenant queue bound applies to new arrivals.
+func (a *Admission) SetLevel(s State) {
+	a.mu.Lock()
+	a.level = s
+	a.mu.Unlock()
+}
+
+// Depth reports the number of queued (not yet admitted) requests.
+func (a *Admission) Depth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+// Inflight reports the number of requests currently past the gate.
+func (a *Admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Stats snapshots the gate counters.
+func (a *Admission) Stats() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+func (a *Admission) tenantLocked(tenant string) *tenantQueue {
+	tq := a.tenants[tenant]
+	if tq == nil {
+		tq = &tenantQueue{weight: 1}
+		a.tenants[tenant] = tq
+	}
+	return tq
+}
+
+// Admit blocks until the request may proceed, returning a release
+// function the caller must invoke when the work completes. A non-nil
+// error is always a *ShedError (errors.Is ErrShed) and means the
+// request was rejected without running.
+func (a *Admission) Admit(tenant string) (release func(), err error) {
+	a.mu.Lock()
+	if a.inflight < a.cfg.MaxConcurrent && a.queued == 0 {
+		a.inflight++
+		a.stats.Admitted++
+		a.mu.Unlock()
+		return a.releaseOnce(), nil
+	}
+	limit := a.cfg.MaxQueuePerTenant
+	if a.level >= Shed {
+		limit = a.cfg.ShedQueuePerTenant
+	}
+	tq := a.tenantLocked(tenant)
+	if len(tq.q) >= limit {
+		a.stats.ShedQueueFull++
+		a.mu.Unlock()
+		return nil, &ShedError{Tenant: tenant, Reason: "queue-full"}
+	}
+	if len(tq.q) == 0 && tq.pass < a.virt {
+		tq.pass = a.virt // newly backlogged tenant starts at the global floor
+	}
+	w := &waiter{tenant: tenant, enq: a.env.Now(), f: sim.NewFuture[error](a.env)}
+	tq.q = append(tq.q, w)
+	a.queued++
+	if a.queued > a.stats.MaxDepth {
+		a.stats.MaxDepth = a.queued
+	}
+	a.mu.Unlock()
+
+	if werr := w.f.Wait(); werr != nil {
+		return nil, werr
+	}
+	return a.releaseOnce(), nil
+}
+
+// releaseOnce returns the slot-release closure handed to an admitted
+// caller; it is idempotent so sloppy callers cannot corrupt the gate.
+func (a *Admission) releaseOnce() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			a.mu.Lock()
+			a.inflight--
+			grant, shed := a.dispatchLocked()
+			a.mu.Unlock()
+			a.resolve(grant, shed)
+		})
+	}
+}
+
+// resolve wakes dispatched and shed waiters outside the gate mutex.
+func (a *Admission) resolve(grant, shed []*waiter) {
+	for _, w := range shed {
+		w.f.Set(&ShedError{Tenant: w.tenant, Reason: "stale"})
+	}
+	for _, w := range grant {
+		w.f.Set(nil)
+	}
+}
+
+// dispatchLocked fills free slots from the queues: weighted-fair tenant
+// selection (min pass, lexicographic tie-break), CoDel staleness check
+// on each dequeued head. Returns the waiters to grant and to shed.
+func (a *Admission) dispatchLocked() (grant, shed []*waiter) {
+	now := a.env.Now()
+	for a.inflight < a.cfg.MaxConcurrent && a.queued > 0 {
+		tq := a.minPassLocked()
+		w := tq.q[0]
+		tq.q = tq.q[1:]
+		a.queued--
+		if a.staleLocked(now, now-w.enq) {
+			a.stats.ShedStale++
+			shed = append(shed, w)
+			// Restart the interval measurement: at most one drop per
+			// Interval of continued standing delay, so the queue drains
+			// gradually instead of dumping its whole backlog.
+			a.firstAbove = now
+			continue
+		}
+		a.virt = tq.pass
+		tq.pass += 1 / tq.weight
+		a.inflight++
+		a.stats.Admitted++
+		grant = append(grant, w)
+	}
+	if a.queued == 0 {
+		a.firstAbove = 0
+	}
+	return grant, shed
+}
+
+// minPassLocked picks the backlogged tenant with the smallest pass
+// value, breaking ties by tenant name so dispatch order is a pure
+// function of queue state.
+func (a *Admission) minPassLocked() *tenantQueue {
+	var best *tenantQueue
+	var bestName string
+	for name, tq := range a.tenants {
+		if len(tq.q) == 0 {
+			continue
+		}
+		if best == nil || tq.pass < best.pass || (tq.pass == best.pass && name < bestName) {
+			best, bestName = tq, name
+		}
+	}
+	return best
+}
+
+// staleLocked implements the CoDel drop decision for a head with the
+// given sojourn time: sojourn must exceed Target, and must have done so
+// continuously for Interval, before heads start being dropped.
+func (a *Admission) staleLocked(now sim.Time, sojourn time.Duration) bool {
+	if sojourn <= a.cfg.Target {
+		a.firstAbove = 0
+		return false
+	}
+	if a.firstAbove == 0 {
+		a.firstAbove = now
+		return false
+	}
+	return now-a.firstAbove >= a.cfg.Interval
+}

@@ -1,8 +1,11 @@
 package store
 
 import (
+	"sort"
 	"sync"
+	"time"
 
+	"ofc/internal/sim"
 	"ofc/internal/simnet"
 )
 
@@ -30,9 +33,17 @@ type OpStats struct {
 type Instrumented struct {
 	inner Backend
 
-	mu sync.Mutex
-	s  OpStats
+	mu  sync.Mutex
+	s   OpStats
+	env *sim.Env // nil until AttachClock; latency tracking off
+	lat []time.Duration
+	nxt int
 }
+
+// latencyWindow is the ring size of the recent Read/Write latency
+// samples kept for quantile queries (the overload controller's "store
+// RPC latency" signal).
+const latencyWindow = 512
 
 // NewInstrumented wraps inner with operation counters.
 func NewInstrumented(inner Backend) *Instrumented {
@@ -42,6 +53,14 @@ func NewInstrumented(inner Backend) *Instrumented {
 // Unwrap implements Wrapper.
 func (n *Instrumented) Unwrap() Backend { return n.inner }
 
+// AttachClock enables per-op latency tracking against env's virtual
+// clock. Without a clock the layer counts ops only.
+func (n *Instrumented) AttachClock(env *sim.Env) {
+	n.mu.Lock()
+	n.env = env
+	n.mu.Unlock()
+}
+
 // Stats snapshots the counters.
 func (n *Instrumented) Stats() OpStats {
 	n.mu.Lock()
@@ -49,7 +68,50 @@ func (n *Instrumented) Stats() OpStats {
 	return n.s
 }
 
+// LatencyQuantile returns the q-quantile (nearest-rank, 0 < q <= 1) of
+// the recent Read/Write latency window, or 0 with no clock or samples.
+func (n *Instrumented) LatencyQuantile(q float64) time.Duration {
+	n.mu.Lock()
+	samples := make([]time.Duration, len(n.lat))
+	copy(samples, n.lat)
+	n.mu.Unlock()
+	if len(samples) == 0 {
+		return 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := int(float64(len(samples))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(samples) {
+		idx = len(samples) - 1
+	}
+	return samples[idx]
+}
+
+// clock returns the attached env, or nil.
+func (n *Instrumented) clock() *sim.Env {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.env
+}
+
+// observeLocked records one op latency in the ring.
+func (n *Instrumented) observeLocked(d time.Duration) {
+	if len(n.lat) < latencyWindow {
+		n.lat = append(n.lat, d)
+		return
+	}
+	n.lat[n.nxt] = d
+	n.nxt = (n.nxt + 1) % latencyWindow
+}
+
 func (n *Instrumented) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
+	env := n.clock()
+	var start sim.Time
+	if env != nil {
+		start = env.Now()
+	}
 	blob, meta, err := n.inner.Read(caller, key)
 	n.mu.Lock()
 	n.s.Reads++
@@ -58,11 +120,19 @@ func (n *Instrumented) Read(caller simnet.NodeID, key string) (Blob, Meta, error
 	} else {
 		n.s.BytesRead += blob.Size
 	}
+	if env != nil {
+		n.observeLocked(env.Now() - start)
+	}
 	n.mu.Unlock()
 	return blob, meta, err
 }
 
 func (n *Instrumented) Write(caller simnet.NodeID, key string, blob Blob, tags map[string]string, preferred simnet.NodeID) (uint64, error) {
+	env := n.clock()
+	var start sim.Time
+	if env != nil {
+		start = env.Now()
+	}
 	ver, err := n.inner.Write(caller, key, blob, tags, preferred)
 	n.mu.Lock()
 	n.s.Writes++
@@ -70,6 +140,9 @@ func (n *Instrumented) Write(caller simnet.NodeID, key string, blob Blob, tags m
 		n.s.WriteErrs++
 	} else {
 		n.s.BytesWritten += blob.Size
+	}
+	if env != nil {
+		n.observeLocked(env.Now() - start)
 	}
 	n.mu.Unlock()
 	return ver, err

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"time"
@@ -58,7 +59,18 @@ func DefaultResilienceConfig() ResilienceConfig {
 var (
 	ErrCacheTimeout = errors.New("store: cache operation timed out")
 	ErrBreakerOpen  = errors.New("store: cache circuit breaker open")
+	// ErrRetryBudget marks an op whose re-attempt the RetryGate denied;
+	// it wraps the last attempt's error, so unavailability
+	// classification still holds and callers fall back normally.
+	ErrRetryBudget = errors.New("store: retry denied by retry budget")
 )
+
+// RetryGate arbitrates storage re-attempts (the overload layer's
+// retry budget, shared with the FaaS platform's OOM retries). A nil
+// gate means unbounded retries per the ResilienceConfig.
+type RetryGate interface {
+	AllowRetry() bool
+}
 
 // IsUnavailable classifies errors that mean "the cache cannot serve
 // this right now" — the triggers for RSDS fallback — as opposed to
@@ -89,6 +101,8 @@ type ResilienceStats struct {
 	Retries      int64
 	Timeouts     int64
 	BreakerTrips int64
+	// BudgetDenied counts re-attempts refused by the RetryGate.
+	BudgetDenied int64
 }
 
 // Resilient wraps a Backend's Read and Write with per-attempt
@@ -105,9 +119,11 @@ type Resilient struct {
 	cfg      ResilienceConfig
 	rng      *rand.Rand
 	breakers map[simnet.NodeID]*breaker
+	gate     RetryGate
 	retries  int64
 	timeouts int64
 	trips    int64
+	denied   int64
 }
 
 // NewResilient wraps inner with the degradation layer.
@@ -133,6 +149,14 @@ func (r *Resilient) reset(cfg ResilienceConfig) {
 // state. Call before traffic starts.
 func (r *Resilient) SetConfig(cfg ResilienceConfig) { r.reset(cfg) }
 
+// SetRetryGate installs (or, with nil, removes) the shared retry
+// budget consulted before every re-attempt.
+func (r *Resilient) SetRetryGate(g RetryGate) {
+	r.mu.Lock()
+	r.gate = g
+	r.mu.Unlock()
+}
+
 // Config returns the active constants.
 func (r *Resilient) Config() ResilienceConfig {
 	r.mu.Lock()
@@ -144,7 +168,7 @@ func (r *Resilient) Config() ResilienceConfig {
 func (r *Resilient) Stats() ResilienceStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return ResilienceStats{Retries: r.retries, Timeouts: r.timeouts, BreakerTrips: r.trips}
+	return ResilienceStats{Retries: r.retries, Timeouts: r.timeouts, BreakerTrips: r.trips, BudgetDenied: r.denied}
 }
 
 // BreakerState exposes one server's breaker for tests and debugging.
@@ -241,10 +265,17 @@ func attempt[T any](r *Resilient, target simnet.NodeID, op func() (T, error)) (T
 	}
 	r.mu.Lock()
 	cfg := r.cfg
+	gate := r.gate
 	r.mu.Unlock()
 	var lastErr error
 	for try := 0; try <= cfg.MaxRetries; try++ {
 		if try > 0 {
+			if gate != nil && !gate.AllowRetry() {
+				r.mu.Lock()
+				r.denied++
+				r.mu.Unlock()
+				return zero, fmt.Errorf("%w: %w", ErrRetryBudget, lastErr)
+			}
 			r.env.Sleep(r.backoff(try))
 			r.mu.Lock()
 			r.retries++

@@ -30,10 +30,17 @@ type expEntry struct {
 	WallMs float64 `json:"wall_ms"`
 }
 
+type qualityEntry struct {
+	Name         string  `json:"name"`
+	Value        float64 `json:"value"`
+	HigherBetter bool    `json:"higher_better"`
+}
+
 type benchFile struct {
-	Micro       []benchEntry `json:"micro"`
-	Experiments []expEntry   `json:"experiments"`
-	TotalWallMs float64      `json:"total_wall_ms"`
+	Micro       []benchEntry   `json:"micro"`
+	Experiments []expEntry     `json:"experiments"`
+	Quality     []qualityEntry `json:"quality"`
+	TotalWallMs float64        `json:"total_wall_ms"`
 }
 
 func load(path string) (*benchFile, error) {
@@ -109,6 +116,41 @@ func main() {
 		check("exp/"+o.ID+"/wall_ms", o.WallMs, n.WallMs, 1)
 	}
 	check("total_wall_ms", oldF.TotalWallMs, newF.TotalWallMs, 1)
+
+	// Quality metrics are deterministic virtual-clock counters, so there
+	// is no noise floor: any movement past the threshold in the bad
+	// direction (down for higher-better, up for lower-better) fails.
+	newQual := map[string]qualityEntry{}
+	for _, e := range newF.Quality {
+		newQual[e.Name] = e
+	}
+	for _, o := range oldF.Quality {
+		n, ok := newQual[o.Name]
+		if !ok {
+			fmt.Printf("%-40s dropped from new snapshot\n", "quality/"+o.Name)
+			regressions = append(regressions, "quality/"+o.Name+" (dropped)")
+			continue
+		}
+		var worse float64 // fractional move in the bad direction
+		switch {
+		case o.HigherBetter && o.Value > 0:
+			worse = (o.Value - n.Value) / o.Value
+		case !o.HigherBetter && o.Value > 0:
+			worse = (n.Value - o.Value) / o.Value
+		case !o.HigherBetter && o.Value == 0:
+			// Was perfect (e.g. zero lost outputs); any increase fails.
+			if n.Value > 0 {
+				worse = 1
+			}
+		}
+		verdict := "ok"
+		if worse > *maxRegress {
+			verdict = "REGRESSION"
+			regressions = append(regressions, "quality/"+o.Name)
+		}
+		fmt.Printf("%-40s %12.2f -> %12.2f  (worse %+5.1f%%)  %s\n",
+			"quality/"+o.Name, o.Value, n.Value, worse*100, verdict)
+	}
 
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d regression(s) beyond %.0f%%:\n", len(regressions), *maxRegress*100)
