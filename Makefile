@@ -2,15 +2,15 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload clean
+.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
 
 all: check
 
 # The default gate: build, vet, the determinism/correctness analyzers,
 # full tests, the race detector over the concurrency-heavy packages
 # (cache cluster, proxy/resilience, chaos), then the end-to-end
-# overload drill.
-check: build vet lint test test-race smoke-overload
+# overload drill and the memctl policy-ablation grid.
+check: build vet lint test test-race smoke-overload smoke-policies
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,8 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific static analysis: wall-clock reads, global rand, sentinel
-# identity comparisons, blocking sim calls under mutexes, metric naming.
+# identity comparisons, blocking sim calls under mutexes, metric naming,
+# map-iteration order leaking into output.
 # Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/ofc-lint ./...
@@ -68,6 +69,13 @@ scorecard:
 # retries under the budget cap and lose no acknowledged write.
 smoke-overload:
 	$(GO) run ./cmd/ofc-bench -exp overload -quick
+
+# Memory-control-plane ablation: the full eviction × slack grid in
+# quick mode (~10 s). Guards the memctl seam end to end — every
+# registered policy must still deploy, fill the cache, and satisfy the
+# scale-down reclaim probe.
+smoke-policies:
+	$(GO) run ./cmd/ofc-bench -exp policies -quick
 
 clean:
 	$(GO) clean ./...

@@ -64,10 +64,11 @@ func writeBenchFile(path string, exps []ExpEntry, total time.Duration) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// qualityMetrics runs the overload drill (quick mode, fixed seed) and
-// extracts its headline counters. Everything here lives on the virtual
-// clock, so the numbers are bit-identical across hosts — a drop in
-// goodput or a jump in spike p99 is a behavior change, not noise.
+// qualityMetrics runs the overload drill and the policy-ablation grid
+// (quick mode, fixed seed) and extracts their headline counters.
+// Everything here lives on the virtual clock, so the numbers are
+// bit-identical across hosts — a drop in goodput or a hit-ratio shift
+// in a policy cell is a behavior change, not noise.
 func qualityMetrics() []QualityEntry {
 	_, res := experiments.Overload(1, true)
 	var good int64
@@ -78,13 +79,23 @@ func qualityMetrics() []QualityEntry {
 	if res.Healthy() {
 		healthy = 1
 	}
-	return []QualityEntry{
+	out := []QualityEntry{
 		{Name: "overload/goodput", Value: float64(good), HigherBetter: true},
 		{Name: "overload/spike_p99_ms", Value: float64(res.SpikeP99.Microseconds()) / 1e3},
 		{Name: "overload/total_retries", Value: float64(res.TotalRetries())},
 		{Name: "overload/lost_outputs", Value: float64(res.LostOutputs)},
 		{Name: "overload/healthy", Value: healthy, HigherBetter: true},
 	}
+	_, rows := experiments.Policies(1, true, nil, nil)
+	for _, r := range rows {
+		cell := r.Eviction + "+" + r.Slack
+		out = append(out,
+			QualityEntry{Name: "policies/" + cell + "/hit_ratio", Value: r.HitRatio, HigherBetter: true},
+			QualityEntry{Name: "policies/" + cell + "/p99_ms", Value: float64(r.P99.Microseconds()) / 1e3},
+			QualityEntry{Name: "policies/" + cell + "/reclaim_ms", Value: float64(r.ReclaimLat.Microseconds()) / 1e3},
+		)
+	}
+	return out
 }
 
 // microBenchmarks exercises the scheduler hot paths through

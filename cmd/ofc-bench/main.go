@@ -12,7 +12,9 @@
 // Experiment ids follow DESIGN.md's per-experiment index: summary,
 // fig2, fig3, table1, benefit, fig5, fig6, maturation, fig7, fig7x5,
 // fig8, migration, fig9 (also prints fig10 and table2), macro24,
-// ablations, resilience, chaos, overload, chunking.
+// ablations, constants, resilience, chaos, overload, policies,
+// chunking, storeplane. The policies grid additionally honors -evict
+// and -slack to scope the eviction × slack matrix.
 //
 // Independent experiments run concurrently on a GOMAXPROCS-bounded
 // worker pool (-jobs overrides); each experiment buffers its output
@@ -33,6 +35,7 @@ import (
 	"time"
 
 	"ofc/internal/experiments"
+	"ofc/internal/memctl"
 )
 
 // output collects one experiment's report. Each run gets its own, so
@@ -71,8 +74,14 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "experiments to run concurrently")
 		benchout = flag.String("benchout", "", "write a BENCH_sim.json perf snapshot to this path")
 	)
+	flag.StringVar(&evictFlag, "evict", "", "policies experiment: comma-separated eviction policies (default: all)")
+	flag.StringVar(&slackFlag, "slack", "", "policies experiment: comma-separated slack estimators (default: all)")
 	flag.Parse()
 
+	if err := checkPolicyFlags(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	exps := registry()
 	if *list {
 		for _, e := range exps {
@@ -142,6 +151,48 @@ func max(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// evictFlag and slackFlag scope the policies experiment's grid; empty
+// means the full memctl registry.
+var evictFlag, slackFlag string
+
+// checkPolicyFlags rejects unknown -evict/-slack names up front, so a
+// typo gets a flag error instead of a panic mid-grid.
+func checkPolicyFlags() error {
+	known := func(names []string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	evict, slack := known(memctl.EvictionPolicies()), known(memctl.SlackEstimators())
+	for _, n := range splitList(evictFlag) {
+		if !evict[n] {
+			return fmt.Errorf("unknown eviction policy %q; known: %s", n, strings.Join(memctl.EvictionPolicies(), ", "))
+		}
+	}
+	for _, n := range splitList(slackFlag) {
+		if !slack[n] {
+			return fmt.Errorf("unknown slack estimator %q; known: %s", n, strings.Join(memctl.SlackEstimators(), ", "))
+		}
+	}
+	return nil
+}
+
+// splitList parses a comma-separated flag into a slice (nil if empty).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
 }
 
 func registry() []experiment {
@@ -254,6 +305,10 @@ func registry() []experiment {
 			tab, res := experiments.Overload(seed, quick)
 			o.emit(tab)
 			o.printf("  healthy: %v\n", res.Healthy())
+		}},
+		{"policies", "memctl ablation: eviction × slack policy grid", func(o *output, seed int64, quick bool) {
+			tab, _ := experiments.Policies(seed, quick, splitList(evictFlag), splitList(slackFlag))
+			o.emit(tab)
 		}},
 		{"chunking", "large-object striping extension (§6.1 future work)", func(o *output, seed int64, quick bool) {
 			tab, _ := experiments.ChunkingExtension(seed)

@@ -3,11 +3,12 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
 	"ofc/internal/faas"
+	"ofc/internal/memctl"
+	"ofc/internal/metrics"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
 	"ofc/internal/store"
@@ -43,6 +44,9 @@ type CacheAgentConfig struct {
 	// ≈289 µs) and of an eviction-based shrink (Sc3: ≈373 µs).
 	ShrinkBaseNoEvict time.Duration
 	ShrinkBaseEvict   time.Duration
+	// Policy selects the memctl policy combination; zero-value fields
+	// mean the paper's defaults (threshold/window/migratefirst).
+	Policy memctl.Spec
 }
 
 // DefaultCacheAgentConfig returns the paper's parameters.
@@ -64,6 +68,21 @@ func DefaultCacheAgentConfig() CacheAgentConfig {
 	}
 }
 
+// memctlParams maps the agent config onto the policy knobs. The age
+// floor is one eviction period, exactly the pre-refactor grace window.
+func (c CacheAgentConfig) memctlParams() memctl.Params {
+	return memctl.Params{
+		MinAccess:   c.MinAccess,
+		MaxIdle:     c.MaxIdle,
+		AgeFloor:    c.EvictionEvery,
+		MinSlack:    c.MinSlack,
+		MaxSlack:    c.MaxSlack,
+		ChurnWindow: c.ChurnWindow,
+		StaticSlack: c.InitialSlack,
+		HighWater:   memctl.DefaultParams().HighWater,
+	}
+}
+
 // AgentMetrics are the per-agent counters behind Table 2.
 type AgentMetrics struct {
 	ScaleUps            int64
@@ -76,11 +95,23 @@ type AgentMetrics struct {
 	ReclaimFailures     int64
 }
 
-// CacheAgent manages one worker node's share of the cache (§6.4): it
-// hoards unused memory into the cache, shrinks the cache under sandbox
-// pressure (outputs first, then LRU inputs with
-// migration-by-promotion), maintains the slack pool, and applies the
-// §6.3 periodic eviction policy.
+// AgentSnapshot is one consistent observation of the agent: the slack
+// pool and the counters captured under a single critical section, so a
+// reader can never see a slack value from one instant paired with
+// counters from another.
+type AgentSnapshot struct {
+	Slack   int64
+	Metrics AgentMetrics
+	Policy  metrics.PolicyCounters
+}
+
+// CacheAgent actuates the memory control plane on one worker node
+// (§6.4): it hoards unused memory into the cache, shrinks the cache
+// under sandbox pressure, maintains the slack pool, and runs the
+// periodic eviction sweep. Every decision — which objects are victims,
+// how much slack to hold, in what order to migrate or evict — is
+// delegated to the memctl policy set; the agent owns only execution:
+// grant arithmetic, write-backs, the Figure-8 scaling costs.
 //
 // The agent controls the cache purely through its memory view — it
 // needs usage, limits, the object census and the reclamation verbs,
@@ -92,40 +123,72 @@ type CacheAgent struct {
 	kv   store.MemoryView
 	rc   *RCLib
 	cfg  CacheAgentConfig
+	pol  memctl.Policies
 
+	// mu guards the mutable snapshot state AND the policy set: policy
+	// implementations are plain bookkeeping with no internal locking,
+	// so every Touch/Admit/Victims/Plan/Observe/Target call happens
+	// under mu. Decisions are computed under the lock, executed (RPCs,
+	// evictions, sleeps) outside it.
 	mu           sync.Mutex
 	slack        int64
 	lastReserved int64
-	churn        []int64
-	brownout     bool
+	pressure     memctl.Pressure
 	metrics      AgentMetrics
+	polCounters  metrics.PolicyCounters
 }
 
 // NewCacheAgent builds the agent for one node over the engine's
-// memory-control view.
+// memory-control view, instantiating its own policy set from the
+// config's spec (policy state — GDSF priorities, slack windows — is
+// per node).
 func NewCacheAgent(env *sim.Env, inv *faas.Invoker, kv store.MemoryView, rc *RCLib, cfg CacheAgentConfig) *CacheAgent {
 	return &CacheAgent{
 		env: env, node: inv.Node(), inv: inv, kv: kv, rc: rc, cfg: cfg,
+		pol:   memctl.MustBuild(cfg.Policy, cfg.memctlParams()),
 		slack: cfg.InitialSlack, lastReserved: inv.Reserved(),
+		polCounters: metrics.PolicyCounters{Policy: normalizeSpec(cfg.Policy).String()},
 	}
+}
+
+// normalizeSpec fills empty spec fields with the default names so the
+// policy label always reads "eviction/slack/planner".
+func normalizeSpec(s memctl.Spec) memctl.Spec {
+	d := memctl.DefaultSpec()
+	if s.Eviction == "" {
+		s.Eviction = d.Eviction
+	}
+	if s.Slack == "" {
+		s.Slack = d.Slack
+	}
+	if s.Planner == "" {
+		s.Planner = d.Planner
+	}
+	return s
 }
 
 // Node returns the agent's node.
 func (a *CacheAgent) Node() simnet.NodeID { return a.node }
 
-// Slack returns the current slack pool size.
-func (a *CacheAgent) Slack() int64 {
+// Snapshot returns one consistent view of slack + counters (see
+// AgentSnapshot). Slack and Metrics are conveniences over it.
+func (a *CacheAgent) Snapshot() AgentSnapshot {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.slack
+	return AgentSnapshot{Slack: a.slack, Metrics: a.metrics, Policy: a.polCounters}
 }
 
+// Slack returns the current slack pool size.
+func (a *CacheAgent) Slack() int64 { return a.Snapshot().Slack }
+
 // Metrics returns a snapshot of the agent counters.
-func (a *CacheAgent) Metrics() AgentMetrics {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.metrics
-}
+func (a *CacheAgent) Metrics() AgentMetrics { return a.Snapshot().Metrics }
+
+// PolicyCounters returns the per-policy counters.
+func (a *CacheAgent) PolicyCounters() metrics.PolicyCounters { return a.Snapshot().Policy }
+
+// PolicySpec returns the normalized policy combination the agent runs.
+func (a *CacheAgent) PolicySpec() memctl.Spec { return normalizeSpec(a.cfg.Policy) }
 
 // Start arms the periodic loops: growth, slack maintenance, periodic
 // eviction. It also performs the initial grant.
@@ -147,6 +210,31 @@ func (a *CacheAgent) Start() {
 		a.periodicEviction()
 		return true
 	})
+}
+
+// AdmitObject is the proxy's write-admission gate: before a missed
+// input is admitted into this node's cache, the eviction policy gets a
+// veto (with the predictor's caching-benefit score as evidence).
+func (a *CacheAgent) AdmitObject(key string, size int64, benefit float64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ok := a.pol.Eviction.Admit(key, size, benefit)
+	if ok {
+		a.polCounters.Admitted++
+	} else {
+		a.polCounters.Rejected++
+	}
+	return ok
+}
+
+// TouchObject reports a cache hit on an object mastered on this node,
+// so frequency/recency-keeping policies see accesses as they happen.
+func (a *CacheAgent) TouchObject(key string) {
+	now := a.env.Now()
+	a.mu.Lock()
+	a.pol.Eviction.Touch(key, now)
+	a.polCounters.Touches++
+	a.mu.Unlock()
 }
 
 // Grow rebalances the cache grant to the node's current entitlement:
@@ -204,57 +292,86 @@ func (a *CacheAgent) Grow() {
 	a.env.Go(func() { a.env.Sleep(a.cfg.PoolReconfigTime) })
 }
 
-// freeBytes frees at least toFree bytes of cached data: clean final
-// outputs first, then LRU inputs by migration-by-promotion, eviction
-// as last resort; dirty objects get asynchronous write-backs.
+// view captures the policy inputs for this node: census, occupancy,
+// need and pressure. Must be called without holding mu.
+func (a *CacheAgent) view(need int64) memctl.View {
+	used, limit := a.kv.Usage(a.node)
+	a.mu.Lock()
+	pressure := a.pressure
+	a.mu.Unlock()
+	return memctl.View{
+		Now:      a.env.Now(),
+		Objects:  a.kv.Objects(a.node),
+		Used:     used,
+		Limit:    limit,
+		Need:     need,
+		Pressure: pressure,
+	}
+}
+
+// freeBytes frees at least toFree bytes of cached data by executing
+// the planner's recipe: walk the first phase until the need is met,
+// then (if short) trigger the asynchronous write-backs and walk the
+// second phase, honoring each step's migrate-vs-evict intent with
+// eviction as the migration fallback.
 func (a *CacheAgent) freeBytes(toFree int64) (migrated, evicted int) {
-	objs := a.kv.Objects(a.node)
-	for _, o := range objs {
+	v := a.view(toFree)
+	a.mu.Lock()
+	plan := a.pol.Planner.Plan(v)
+	a.mu.Unlock()
+
+	var freed []string
+	wrotebacks := 0
+	defer func() {
+		a.mu.Lock()
+		for _, k := range freed {
+			a.pol.Eviction.Forget(k)
+		}
+		a.polCounters.Evictions += int64(evicted)
+		a.polCounters.Migrations += int64(migrated)
+		a.polCounters.WriteBacks += int64(wrotebacks)
+		a.mu.Unlock()
+	}()
+
+	for _, s := range plan.First {
 		if toFree <= 0 {
 			break
 		}
-		if o.Meta.Tags["kind"] == "final" && o.Meta.Tags["dirty"] != "1" {
-			if a.kv.Evict(o.Key) == nil {
-				toFree -= o.Meta.Size
-				evicted++
-			}
+		if a.kv.Evict(s.Key) == nil {
+			toFree -= s.Size
+			evicted++
+			freed = append(freed, s.Key)
 		}
 	}
 	if toFree <= 0 {
 		return
 	}
-	var inputs []store.ObjectInfo
-	for _, o := range objs {
-		switch {
-		case o.Meta.Tags["dirty"] == "1":
-			key := o.Key
-			a.env.Go(func() { a.rc.WriteBackNow(a.node, key) })
-		case o.Meta.Tags["kind"] == "input" || o.Meta.Tags["kind"] == "intermediate":
-			inputs = append(inputs, o)
-		}
+	for _, key := range plan.WriteBacks {
+		key := key
+		a.env.Go(func() { a.rc.WriteBackNow(a.node, key) })
+		wrotebacks++
 	}
-	sort.Slice(inputs, func(i, j int) bool {
-		return inputs[i].Meta.LastAccess < inputs[j].Meta.LastAccess
-	})
-	for _, o := range inputs {
+	for _, s := range plan.Second {
 		if toFree <= 0 {
 			break
 		}
-		if a.kv.MigrateToBackup(o.Key) == nil {
-			toFree -= o.Meta.Size
+		if s.Migrate && a.kv.MigrateToBackup(s.Key) == nil {
+			toFree -= s.Size
 			migrated++
+			freed = append(freed, s.Key)
 			continue
 		}
-		if a.kv.Evict(o.Key) == nil {
-			toFree -= o.Meta.Size
+		if a.kv.Evict(s.Key) == nil {
+			toFree -= s.Size
 			evicted++
+			freed = append(freed, s.Key)
 		}
 	}
 	return
 }
 
 // sampleChurn records the sandbox-memory movement since the last
-// sample.
+// sample and feeds it to the slack estimator.
 func (a *CacheAgent) sampleChurn() {
 	cur := a.inv.Reserved()
 	a.mu.Lock()
@@ -263,34 +380,18 @@ func (a *CacheAgent) sampleChurn() {
 		delta = -delta
 	}
 	a.lastReserved = cur
-	a.churn = append(a.churn, delta)
-	if len(a.churn) > a.cfg.ChurnWindow {
-		a.churn = a.churn[1:]
-	}
+	a.pol.Slack.Observe(delta)
 	a.mu.Unlock()
 }
 
-// adjustSlack sets the slack pool from the churn sliding window (§6.4).
+// adjustSlack sets the slack pool from the estimator (§6.4); an
+// estimator with no opinion yet leaves the provisioned slack as is.
 func (a *CacheAgent) adjustSlack() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(a.churn) == 0 {
-		return
+	if t, ok := a.pol.Slack.Target(); ok {
+		a.slack = t
 	}
-	var max int64
-	for _, c := range a.churn {
-		if c > max {
-			max = c
-		}
-	}
-	s := max
-	if s < a.cfg.MinSlack {
-		s = a.cfg.MinSlack
-	}
-	if s > a.cfg.MaxSlack {
-		s = a.cfg.MaxSlack
-	}
-	a.slack = s
 }
 
 // ErrReclaim is the sentinel for a failed cache reclaim: the agent
@@ -300,26 +401,38 @@ func (a *CacheAgent) adjustSlack() {
 // ReclaimFailures counter as one of its pressure signals.
 var ErrReclaim = errors.New("core: cache reclaim failed")
 
-// SetBrownout switches the agent's eviction posture. Entering brownout
-// triggers an immediate tightened sweep (fresh admissions lose their
-// grace window, the idle bound shortens), so cache memory flows back
-// to sandboxes while pressure lasts.
+// SetBrownout switches the agent's eviction posture (legacy boolean
+// face of SetPressure). Entering brownout triggers an immediate
+// tightened sweep, so cache memory flows back to sandboxes while
+// pressure lasts.
 func (a *CacheAgent) SetBrownout(on bool) {
+	p := memctl.PressureNormal
+	if on {
+		p = memctl.PressureBrownout
+	}
+	a.SetPressure(p)
+}
+
+// SetPressure feeds the overload controller's urgency level into the
+// policy inputs. Rising to brownout triggers an immediate sweep under
+// the tightened criteria.
+func (a *CacheAgent) SetPressure(p memctl.Pressure) {
 	a.mu.Lock()
-	was := a.brownout
-	a.brownout = on
+	was := a.pressure
+	a.pressure = p
 	a.mu.Unlock()
-	if on && !was {
+	if p == memctl.PressureBrownout && was != p {
 		a.env.Go(func() { a.periodicEviction() })
 	}
 }
 
 // Reclaim implements the §6.4 fast-reclamation path, invoked by the
 // platform (as MemoryGovernor) when a sandbox needs memory the cache
-// holds. Order: free grant first, then persisted outputs, then LRU
-// inputs via migration-by-promotion, then eviction. Dirty outputs get
-// their write-back triggered asynchronously. Returns the critical-path
-// time spent.
+// holds. The planner orders the work (free grant first, then persisted
+// outputs, then LRU inputs via migration-by-promotion, then eviction);
+// the agent executes it and charges the critical-path time. Dirty
+// outputs get their write-back triggered asynchronously. Returns the
+// critical-path time spent.
 func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 	start := a.env.Now()
 	grant := a.inv.CacheGrant()
@@ -376,31 +489,17 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 	return took, nil
 }
 
-// periodicEviction applies §6.3: every EvictionEvery, evict objects
-// with n_access < MinAccess or idle longer than MaxIdle. Only objects
-// older than one eviction period are considered, so fresh admissions
-// survive their first window. Dirty objects are written back first.
+// periodicEviction runs the discretionary sweep: the eviction policy
+// selects the victims (Need == 0; the paper's threshold policy applies
+// §6.3's n_access/idle criteria, demand-driven policies trim to their
+// watermark), the agent executes — dirty victims are written back
+// before eviction, clean ones evicted directly.
 func (a *CacheAgent) periodicEviction() {
-	now := a.env.Now()
-	// Brownout tightens the criteria: no grace window for fresh
-	// admissions and a quarter of the idle bound, so only the hot set
-	// survives while memory is contended.
+	v := a.view(0)
 	a.mu.Lock()
-	brown := a.brownout
+	victims := a.pol.Eviction.Victims(v)
 	a.mu.Unlock()
-	ageFloor, maxIdle := a.cfg.EvictionEvery, a.cfg.MaxIdle
-	if brown {
-		ageFloor, maxIdle = 0, a.cfg.MaxIdle/4
-	}
-	for _, o := range a.kv.Objects(a.node) {
-		age := now - o.Meta.Created
-		if age < ageFloor {
-			continue
-		}
-		idle := now - o.Meta.LastAccess
-		if o.Meta.NAccess >= a.cfg.MinAccess && idle <= maxIdle {
-			continue
-		}
+	for _, o := range victims {
 		key := o.Key
 		if o.Meta.Tags["dirty"] == "1" {
 			a.env.Go(func() {
@@ -408,17 +507,24 @@ func (a *CacheAgent) periodicEviction() {
 					a.kv.Evict(key)
 				}
 			})
+			a.mu.Lock()
+			a.polCounters.WriteBacks++
+			a.mu.Unlock()
 			continue
 		}
 		if a.kv.Evict(key) == nil {
 			a.mu.Lock()
 			a.metrics.PeriodicEvictions++
+			a.polCounters.Evictions++
+			a.pol.Eviction.Forget(key)
 			a.mu.Unlock()
 		}
 	}
 }
 
-// Governor adapts a set of agents to the faas.MemoryGovernor interface.
+// Governor adapts a set of agents to the faas.MemoryGovernor interface
+// and to the proxy's AdmissionGate (routing per-object admission and
+// touch notifications to the owning node's agent).
 type Governor struct {
 	mu     sync.Mutex
 	agents map[simnet.NodeID]*CacheAgent
@@ -450,4 +556,22 @@ func (g *Governor) Reclaim(node simnet.NodeID, need int64) (time.Duration, error
 		return 0, fmt.Errorf("node %d: no cache agent: %w", node, ErrReclaim)
 	}
 	return a.Reclaim(need)
+}
+
+// AdmitObject implements AdmissionGate: the write-admission decision
+// belongs to the node that would master the object. Nodes without an
+// agent admit unconditionally (pre-refactor behavior).
+func (g *Governor) AdmitObject(node simnet.NodeID, key string, size int64, benefit float64) bool {
+	a := g.Agent(node)
+	if a == nil {
+		return true
+	}
+	return a.AdmitObject(key, size, benefit)
+}
+
+// TouchObject implements AdmissionGate.
+func (g *Governor) TouchObject(node simnet.NodeID, key string) {
+	if a := g.Agent(node); a != nil {
+		a.TouchObject(key)
+	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"ofc/internal/faas"
 	"ofc/internal/kvstore"
+	"ofc/internal/metrics"
 	"ofc/internal/objstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
@@ -142,6 +143,9 @@ func NewSystem(opts Options) *System {
 	platform.MonitorEnabled = true
 
 	sys.RC.AttachPlatform(platform)
+	// The governor doubles as the proxy's write-admission gate,
+	// routing per-object Admit/Touch to the owning node's policies.
+	sys.RC.SetAdmissionGate(sys.Gov)
 	return sys
 }
 
@@ -260,6 +264,16 @@ func (s *System) CacheGrantBytes() int64 {
 		total += inv.CacheGrant()
 	}
 	return total
+}
+
+// AggregatePolicyCounters sums the per-node control-plane counters
+// (all agents in one system run the same policy combination).
+func (s *System) AggregatePolicyCounters() metrics.PolicyCounters {
+	var out metrics.PolicyCounters
+	for _, a := range s.agents {
+		out.Add(a.PolicyCounters())
+	}
+	return out
 }
 
 // AggregateAgentMetrics sums the per-node agent counters (Table 2).

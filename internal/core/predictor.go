@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -135,10 +136,17 @@ func (p *Predictor) Advise(req *faas.Request) faas.Advice {
 	k := st.memModel.Classify(vals)
 	mem := p.cfg.Intervals.UpperBound(k + 1) // conservative next interval
 	should := true
+	benefit := 1.0
 	if st.benefitModel != nil {
 		should = st.benefitModel.Classify(vals) == 1
+		// The benefit score is the model's probability mass on the
+		// "yes" class — the cost term cost-aware eviction policies
+		// weigh per object.
+		if dist := st.benefitModel.Distribution(vals); len(dist) > 1 {
+			benefit = dist[1]
+		}
 	}
-	return faas.Advice{Mem: mem, ShouldCache: should, Use: true}
+	return faas.Advice{Mem: mem, ShouldCache: should, Benefit: benefit, Use: true}
 }
 
 // Mature reports whether fn's memory model passed the §5.3 criteria.
@@ -303,9 +311,17 @@ func (t *ModelTrainer) Pretrain(fn *faas.Function, samples []Sample) {
 func (t *ModelTrainer) Start() {
 	t.env.Every(t.TrainEvery, func() bool {
 		t.p.mu.Lock()
-		states := make([]*modelState, 0, len(t.p.models))
-		for _, st := range t.p.models {
-			states = append(states, st)
+		// Retrain in sorted function order: each state's training is
+		// independent, but a fixed sequence keeps any future shared
+		// resource (trainer RNG, budget) off the map-order lottery.
+		names := make([]string, 0, len(t.p.models))
+		for name := range t.p.models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		states := make([]*modelState, 0, len(names))
+		for _, name := range names {
+			states = append(states, t.p.models[name])
 		}
 		t.p.mu.Unlock()
 		for _, st := range states {

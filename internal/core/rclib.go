@@ -54,6 +54,11 @@ type RCLib struct {
 	pending map[string]*sim.Future[struct{}]
 	// pipelines tracks intermediate object keys per pipeline instance.
 	pipelines map[string][]string
+	// gate, when set, is the memory control plane's write-admission
+	// veto: missed inputs are only admitted into the cache when the
+	// owning node's eviction policy agrees, and cache hits are
+	// reported back so frequency-keeping policies see accesses.
+	gate AdmissionGate
 	// relaxed holds key prefixes (buckets/accounts) whose tenants
 	// disabled the §6.2 strong-consistency facilities: no shadow
 	// objects, no eager persistors; writes propagate lazily on
@@ -80,6 +85,7 @@ type RCLib struct {
 	ephemHits    int64
 	ephemMisses  int64
 	admissions   int64
+	admitVetoes  int64
 	writeBacks   int64
 	bypassWrites int64
 	ephemeral    int64 // bytes of intermediate+final outputs produced
@@ -177,6 +183,33 @@ func (rc *RCLib) SetRetryGate(g store.RetryGate) {
 	if rc.resil != nil {
 		rc.resil.SetRetryGate(g)
 	}
+}
+
+// AdmissionGate is the memory control plane's view of the proxy's
+// write path (implemented by the Governor, routing to the per-node
+// agents' EvictionPolicy). Both calls are pure bookkeeping — no
+// simulated time passes inside them.
+type AdmissionGate interface {
+	// AdmitObject decides whether a missed input may be admitted into
+	// node's cache; benefit is the predictor's caching-benefit score.
+	AdmitObject(node simnet.NodeID, key string, size int64, benefit float64) bool
+	// TouchObject reports a cache hit on an object mastered on node.
+	TouchObject(node simnet.NodeID, key string)
+}
+
+// SetAdmissionGate installs the control plane's admission veto. Call
+// before traffic starts.
+func (rc *RCLib) SetAdmissionGate(g AdmissionGate) {
+	rc.mu.Lock()
+	rc.gate = g
+	rc.mu.Unlock()
+}
+
+// admissionGate reads the gate under the lock.
+func (rc *RCLib) admissionGate() AdmissionGate {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.gate
 }
 
 // SetBrownout switches the proxy's degradation mode (see the brownout
@@ -322,12 +355,22 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 		if meta.Tags["kind"] == "intermediate" {
 			rc.ephemHits++
 		}
+		var master simnet.NodeID
+		haveMaster := false
 		if rc.pv != nil {
-			if m, ok := rc.pv.MasterOf(key); ok && m == caller {
-				rc.localHits++
+			if m, ok := rc.pv.MasterOf(key); ok {
+				master, haveMaster = m, true
+				if m == caller {
+					rc.localHits++
+				}
 			}
 		}
 		rc.statsMu.Unlock()
+		if haveMaster {
+			if g := rc.admissionGate(); g != nil {
+				g.TouchObject(master, key)
+			}
+		}
 		return blob, nil
 	}
 	unavailable := store.IsUnavailable(err)
@@ -370,7 +413,14 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 		// is only a lost opportunity. Skipped while the cache is
 		// unavailable — the breaker decides when to come back. The
 		// admission ceiling is the engine's raw per-object limit:
-		// missed inputs are not striped.
+		// missed inputs are not striped. The control plane's eviction
+		// policy holds a veto (the paper's policy always admits).
+		if g := rc.admissionGate(); g != nil && !g.AdmitObject(caller, key, blob.Size, opts.Benefit) {
+			rc.statsMu.Lock()
+			rc.admitVetoes++
+			rc.statsMu.Unlock()
+			return blob, nil
+		}
 		rc.env.Go(func() {
 			_, werr := rc.be.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
 			if werr == nil {
@@ -600,7 +650,10 @@ type CacheStats struct {
 	Hits, LocalHits, Misses int64
 	EphemHits, EphemMisses  int64
 	Admissions, WriteBacks  int64
-	BypassWrites            int64
+	// AdmitVetoes counts miss-admissions the control plane's eviction
+	// policy refused (always zero under the paper's policy).
+	AdmitVetoes  int64
+	BypassWrites int64
 	EphemeralBytes          int64
 	// Degradation counters: RSDS fallbacks taken because the cache
 	// was unavailable, cache-op retries/timeouts, and circuit-breaker
@@ -629,6 +682,7 @@ func (rc *RCLib) Stats() CacheStats {
 		Hits: rc.hits, LocalHits: rc.localHits, Misses: rc.misses,
 		EphemHits: rc.ephemHits, EphemMisses: rc.ephemMisses,
 		Admissions: rc.admissions, WriteBacks: rc.writeBacks,
+		AdmitVetoes:  rc.admitVetoes,
 		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
 		FallbackReads: rc.fallbackReads, FallbackWrites: rc.fallbackWrites,
 		CacheRetries: rs.Retries, CacheTimeouts: rs.Timeouts,

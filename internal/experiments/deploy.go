@@ -10,6 +10,7 @@ import (
 	"ofc/internal/core"
 	"ofc/internal/faas"
 	"ofc/internal/imoc"
+	"ofc/internal/memctl"
 	"ofc/internal/objstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
@@ -61,6 +62,15 @@ type DeployConfig struct {
 	NodeCapacity int64
 	Seed         int64
 	RSDS         objstore.Profile
+	// Policy selects the memctl policy combination for the OFC cache
+	// agents (zero value = the paper's defaults). Ignored by the
+	// vanilla modes.
+	Policy memctl.Spec
+	// Tune, when non-nil, adjusts the assembled core options before
+	// the OFC system is built (the policy ablation uses it to shorten
+	// the agent cadences so eviction fires inside a short run).
+	// Ignored by the vanilla modes.
+	Tune func(*core.Options)
 }
 
 // DefaultDeploy mirrors the paper's testbed: 4 workers, plus the
@@ -80,6 +90,10 @@ func NewDeployment(mode Mode, cfg DeployConfig) *Deployment {
 		opts.NodeCapacity = cfg.NodeCapacity
 		opts.Seed = cfg.Seed
 		opts.RSDS = cfg.RSDS
+		opts.Agent.Policy = cfg.Policy
+		if cfg.Tune != nil {
+			cfg.Tune(&opts)
+		}
 		sys := core.NewSystem(opts)
 		d.Sys = sys
 		d.Env = sys.Env

@@ -50,7 +50,7 @@ func (c *Ctx) SandboxMem() int64 { return c.sb.mem }
 
 // putOpts assembles the storage intent for this invocation.
 func (c *Ctx) putOpts(kind ObjKind) PutOpts {
-	return PutOpts{Kind: kind, Pipeline: c.req.Pipeline, ShouldCache: c.req.shouldCache}
+	return PutOpts{Kind: kind, Pipeline: c.req.Pipeline, ShouldCache: c.req.shouldCache, Benefit: c.req.benefit}
 }
 
 // Extract reads one input object, charging the Extract phase.

@@ -47,6 +47,10 @@ type PutOpts struct {
 	Kind        ObjKind
 	Pipeline    string // pipeline instance id; empty for single-stage
 	ShouldCache bool   // the Predictor's caching-benefit verdict
+	// Benefit is the Predictor's caching-benefit score in [0,1] (the
+	// probability mass behind ShouldCache; 0 when no model advised).
+	// Cost-aware eviction policies weigh it per object.
+	Benefit float64
 }
 
 // Storage is the data plane functions use for their Extract and Load
@@ -99,6 +103,7 @@ type Request struct {
 	// Fields filled in by the controller/advisor:
 	predMem     int64
 	shouldCache bool
+	benefit     float64
 	advised     bool
 }
 
@@ -111,13 +116,18 @@ func (r *Request) Advised() bool { return r.advised }
 // ShouldCache reports the Advisor's caching-benefit verdict.
 func (r *Request) ShouldCache() bool { return r.shouldCache }
 
+// Benefit reports the Advisor's caching-benefit score (0 if none).
+func (r *Request) Benefit() float64 { return r.benefit }
+
 // Advice is the Advisor's verdict for one invocation.
 type Advice struct {
 	// Mem is the sandbox memory to provision (already conservatively
 	// bumped by one interval, per §5.3).
 	Mem int64
-	// ShouldCache is the caching-benefit prediction (§5.2).
+	// ShouldCache is the caching-benefit prediction (§5.2); Benefit is
+	// the model's probability mass behind it, in [0,1].
 	ShouldCache bool
+	Benefit     float64
 	// Use reports whether the advice should be applied; false before
 	// the model matures (§5.3).
 	Use bool

@@ -69,6 +69,7 @@ func (p *Platform) Invoke(req *Request) *Result {
 			wanted = req.predMem
 		}
 		req.shouldCache = adv.ShouldCache
+		req.benefit = adv.Benefit
 	}
 
 	attempt := p.execute(req, wanted, res)

@@ -7,6 +7,7 @@ package imoc
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofc/internal/kvstore"
@@ -41,8 +42,10 @@ type Cache struct {
 	mu      sync.Mutex
 	objects map[string]Blob
 
-	statsMu    sync.Mutex
-	gets, sets int64
+	// Op counters are lock-free (the simnet/kvstore stats pattern):
+	// they sit on every data-plane op, where a dedicated stats mutex
+	// is pure contention.
+	gets, sets atomic.Int64
 }
 
 // New places the cache service on node.
@@ -68,9 +71,7 @@ func (c *Cache) Set(caller simnet.NodeID, key string, blob Blob) {
 	c.objects[key] = blob
 	c.mu.Unlock()
 	c.net.Transfer(c.node, caller, 64)
-	c.statsMu.Lock()
-	c.sets++
-	c.statsMu.Unlock()
+	c.sets.Add(1)
 }
 
 // Get fetches key.
@@ -86,9 +87,7 @@ func (c *Cache) Get(caller simnet.NodeID, key string) (Blob, error) {
 	}
 	c.net.Env().Sleep(c.bwTime(blob.Size))
 	c.net.Transfer(c.node, caller, blob.Size+64)
-	c.statsMu.Lock()
-	c.gets++
-	c.statsMu.Unlock()
+	c.gets.Add(1)
 	return blob, nil
 }
 
@@ -111,7 +110,5 @@ func (c *Cache) Len() int {
 
 // Stats reports operation counters.
 func (c *Cache) Stats() (gets, sets int64) {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.gets, c.sets
+	return c.gets.Load(), c.sets.Load()
 }

@@ -113,6 +113,10 @@ func TestMetricsNameGolden(t *testing.T) {
 	runGolden(t, MetricsName, "testdata/metricsname/a", "ofc/internal/mfake", 1)
 }
 
+func TestMapIterGolden(t *testing.T) {
+	runGolden(t, MapIter, "testdata/mapiter/a", "ofc/internal/mapfake", 1)
+}
+
 // TestDirectiveDiagnostics checks that broken //lint: comments are
 // themselves findings: the gate cannot be silenced by a typo'd or
 // reasonless suppression.
@@ -161,7 +165,7 @@ func firstWords(s string, n int) string {
 // TestByName covers the driver's -run flag resolution.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
+	if err != nil || len(all) != 6 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("wallclock, senterr")

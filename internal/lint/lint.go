@@ -2,8 +2,9 @@
 // repository's determinism and correctness invariants: simulation code
 // may not read the host clock, randomness must be seeded and threaded
 // explicitly, sentinel errors must be matched with errors.Is, blocking
-// simulation operations may not run under a sync mutex, and metric
-// names must be lowerCamel and unambiguous.
+// simulation operations may not run under a sync mutex, metric
+// names must be lowerCamel and unambiguous, and map iteration order
+// may not leak into sim-visible output.
 //
 // The engine is built only on the standard library (go/parser, go/ast,
 // go/types, driven by `go list -json`), exposes a go/analysis-shaped
@@ -87,7 +88,7 @@ func (f Finding) String() string {
 
 // All returns the repository's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, SeededRand, SentErr, LockedRPC, MetricsName}
+	return []*Analyzer{Wallclock, SeededRand, SentErr, LockedRPC, MetricsName, MapIter}
 }
 
 // ByName resolves a comma-separated analyzer list against All,

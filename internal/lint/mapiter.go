@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapIter flags map iterations whose order can leak into sim-visible
+// output. Go randomizes map iteration order per run, so a `for range m`
+// that prints, appends to an output slice, sends on a channel, or
+// spawns simulation work makes the result depend on that randomization
+// — the one nondeterminism source the virtual clock cannot absorb.
+// Order-insensitive bodies (counter sums, keyed writes into another
+// map, deletes) stay legal, as does the canonical collect-then-sort
+// idiom: an append whose destination is passed to sort.* / slices.*
+// later in the same function is recognized as deterministic.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "forbid map iterations whose order reaches sim-visible output; collect keys and sort, or keep the body order-insensitive",
+	Run:  runMapIter,
+}
+
+// mapIterFmtSinks are the fmt functions that emit directly to a stream;
+// Sprint* build values and are only order-sensitive through some other
+// sink, which is flagged at that sink instead.
+var mapIterFmtSinks = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+}
+
+func runMapIter(p *Pass) error {
+	if !strings.Contains("/"+p.Path(), "/internal/") {
+		return nil
+	}
+	for _, f := range p.Files {
+		if p.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := p.Info.Types[rs.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapRange(p, fn.Body, rs)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkMapRange looks for order-sensitive effects inside one map
+// iteration and reports each sink at its own position.
+func checkMapRange(p *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside map iteration delivers values in randomized order; collect into a slice, sort, then send")
+		case *ast.AssignStmt:
+			// x = append(x, ...) growing a slice that outlives the loop
+			// freezes the randomized order — unless the slice is sorted
+			// afterwards in the same function.
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(p, call) || i >= len(n.Lhs) {
+					continue
+				}
+				dst, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := p.Info.Uses[dst]
+				if obj == nil {
+					obj = p.Info.Defs[dst]
+				}
+				if obj == nil || insideRange(obj.Pos(), rs) {
+					continue // loop-local scratch dies with the iteration
+				}
+				if sortedAfter(p, fnBody, obj, rs.End()) {
+					continue // collect-then-sort: order is re-established
+				}
+				p.Reportf(n.Pos(), "appending to %q inside map iteration captures randomized order; sort %q after the loop (or range over sorted keys)", dst.Name, dst.Name)
+			}
+		case *ast.CallExpr:
+			reportCallSink(p, n)
+		}
+		return true
+	})
+}
+
+// reportCallSink flags calls that emit or schedule in iteration order:
+// direct fmt printing, buffer/builder writes, and sim.Env spawns
+// (goroutine creation order perturbs the virtual-clock schedule).
+func reportCallSink(p *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case path == "fmt" && mapIterFmtSinks[name]:
+		p.Reportf(call.Pos(), "fmt.%s inside map iteration prints entries in randomized order; sort the keys first", name)
+	case (path == "bytes" || path == "strings") && strings.HasPrefix(name, "Write") && fn.Type().(*types.Signature).Recv() != nil:
+		p.Reportf(call.Pos(), "%s.%s inside map iteration builds output in randomized order; sort the keys first", path, name)
+	case strings.HasSuffix(path, "internal/sim") && (name == "Go" || name == "After") && fn.Type().(*types.Signature).Recv() != nil:
+		p.Reportf(call.Pos(), "sim.Env.%s inside map iteration schedules work in randomized order, perturbing the virtual-clock event sequence; iterate sorted keys", name)
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// insideRange reports whether pos falls within the range statement.
+func insideRange(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+// sortedAfter reports whether obj is handed to a sort.*/slices.* call
+// positioned after end within the function body — the second half of
+// the collect-then-sort idiom.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, obj types.Object, end token.Pos) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < end {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if path := fn.Pkg().Path(); path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}

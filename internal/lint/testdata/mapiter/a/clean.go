@@ -1,0 +1,43 @@
+package mapfake
+
+import "sort"
+
+// Order-insensitive bodies are legal: commutative accumulation, keyed
+// writes, deletes, and loop-local scratch that dies with the
+// iteration.
+func cleanAccumulate(m map[string]int, stale map[string]bool) int {
+	sum := 0
+	out := map[string]int{}
+	for k, v := range m {
+		sum += v
+		out[k] = v * 2
+		if v == 0 {
+			delete(stale, k)
+		}
+		var local []int // loop-local: no order escapes
+		local = append(local, v)
+		_ = local
+	}
+	return sum
+}
+
+// The canonical collect-then-sort idiom re-establishes a deterministic
+// order before anything observes the slice.
+func cleanCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sort.Slice with a comparator counts too.
+func cleanCollectSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}

@@ -1,0 +1,21 @@
+package mapfake
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Each sink freezes the randomized iteration order into something a
+// simulation result (or its report) can observe.
+func bad(m map[string]int, ch chan string, sb *strings.Builder) []string {
+	var names []string
+	for k := range m {
+		ch <- k                           // want "channel send inside map iteration"
+		fmt.Println(k)                    // want "fmt.Println inside map iteration prints entries in randomized order"
+		fmt.Fprintf(os.Stderr, "%s\n", k) // want "fmt.Fprintf inside map iteration prints entries in randomized order"
+		sb.WriteString(k)                 // want "strings.WriteString inside map iteration builds output in randomized order"
+		names = append(names, k)          // want "appending to .names. inside map iteration captures randomized order"
+	}
+	return names
+}

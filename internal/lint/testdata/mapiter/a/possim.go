@@ -1,0 +1,12 @@
+package mapfake
+
+import "ofc/internal/sim"
+
+// Spawning simulation work per map entry makes the virtual-clock event
+// sequence depend on iteration order even when every goroutine is
+// individually deterministic.
+func badSpawn(env *sim.Env, m map[string]func()) {
+	for _, fn := range m {
+		env.Go(fn) // want "sim.Env.Go inside map iteration schedules work in randomized order"
+	}
+}

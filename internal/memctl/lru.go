@@ -1,0 +1,84 @@
+package memctl
+
+import (
+	"sort"
+
+	"ofc/internal/sim"
+)
+
+// LRUEviction is the classic recency-only baseline: victims are the
+// least-recently-accessed objects, regardless of access count, kind or
+// predicted benefit. For the discretionary sweep it behaves like a
+// watermark cache — it only evicts once occupancy crosses HighWater
+// of the grant, then trims back down to the watermark — so a
+// lightly-loaded cache is never touched (unlike the threshold policy,
+// which evicts cold objects even with memory to spare).
+//
+// Recency comes from the engine census (Meta.LastAccess), so the
+// policy carries no per-key state and is deterministic by
+// construction: ordering is (LastAccess, Key) ascending.
+type LRUEviction struct {
+	highWater float64
+}
+
+// NewLRUEviction builds the recency baseline from params.
+func NewLRUEviction(p Params) *LRUEviction {
+	hw := p.HighWater
+	if hw <= 0 || hw > 1 {
+		hw = DefaultParams().HighWater
+	}
+	return &LRUEviction{highWater: hw}
+}
+
+// Name implements EvictionPolicy.
+func (l *LRUEviction) Name() string { return "lru" }
+
+// Admit implements EvictionPolicy: LRU admits everything and lets
+// recency sort it out.
+func (l *LRUEviction) Admit(string, int64, float64) bool { return true }
+
+// Touch implements EvictionPolicy (census recency suffices).
+func (l *LRUEviction) Touch(string, sim.Time) {}
+
+// Forget implements EvictionPolicy.
+func (l *LRUEviction) Forget(string) {}
+
+// Victims implements EvictionPolicy: oldest-first until the target is
+// covered. Need > 0 frees exactly the need; Need == 0 trims occupancy
+// back to the high-water mark (and proposes nothing below it).
+func (l *LRUEviction) Victims(v View) []Object {
+	need := v.Need
+	if need <= 0 {
+		if v.Limit <= 0 {
+			return nil
+		}
+		water := int64(l.highWater * float64(v.Limit))
+		if v.Used <= water {
+			return nil
+		}
+		need = v.Used - water
+	}
+	cand := make([]Object, 0, len(v.Objects))
+	for _, o := range v.Objects {
+		if v.pinned(o.Key) {
+			continue
+		}
+		cand = append(cand, o)
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].Meta.LastAccess != cand[j].Meta.LastAccess {
+			return cand[i].Meta.LastAccess < cand[j].Meta.LastAccess
+		}
+		return cand[i].Key < cand[j].Key
+	})
+	var out []Object
+	var freed int64
+	for _, o := range cand {
+		if freed >= need {
+			break
+		}
+		out = append(out, o)
+		freed += o.Meta.Size
+	}
+	return out
+}

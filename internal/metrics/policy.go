@@ -1,0 +1,35 @@
+package metrics
+
+// PolicyCounters are the memory-control-plane counters labeled by the
+// policy combination that produced them, so ablation cells and the
+// per-node cache agents report comparable rows (admissions through the
+// EvictionPolicy.Admit gate, victims actually freed, reclamation
+// actions).
+type PolicyCounters struct {
+	// Policy is the "eviction/slack/planner" spec string.
+	Policy string
+	// Admitted and Rejected count EvictionPolicy.Admit verdicts at the
+	// proxy's write-admission gate.
+	Admitted, Rejected int64
+	// Touches counts policy Touch notifications (cache hits observed
+	// by the control plane).
+	Touches int64
+	// Evictions counts objects freed by eviction (periodic sweeps and
+	// reclamation), Migrations those freed by migration-by-promotion,
+	// WriteBacks the dirty victims whose write-back a sweep or plan
+	// triggered.
+	Evictions, Migrations, WriteBacks int64
+}
+
+// Add accumulates other into c (policy label kept from c unless empty).
+func (c *PolicyCounters) Add(other PolicyCounters) {
+	if c.Policy == "" {
+		c.Policy = other.Policy
+	}
+	c.Admitted += other.Admitted
+	c.Rejected += other.Rejected
+	c.Touches += other.Touches
+	c.Evictions += other.Evictions
+	c.Migrations += other.Migrations
+	c.WriteBacks += other.WriteBacks
+}

@@ -151,6 +151,18 @@ func main() {
 		fmt.Printf("%-40s %12.2f -> %12.2f  (worse %+5.1f%%)  %s\n",
 			"quality/"+o.Name, o.Value, n.Value, worse*100, verdict)
 	}
+	// Quality metrics only present in the new snapshot (a fresh
+	// experiment or policy cell) have no baseline to gate against;
+	// report them so the next baseline refresh picks them up.
+	oldQual := map[string]qualityEntry{}
+	for _, e := range oldF.Quality {
+		oldQual[e.Name] = e
+	}
+	for _, n := range newF.Quality {
+		if _, ok := oldQual[n.Name]; !ok {
+			fmt.Printf("%-40s %12s -> %12.2f  new metric (no baseline)\n", "quality/"+n.Name, "-", n.Value)
+		}
+	}
 
 	if len(regressions) > 0 {
 		fmt.Fprintf(os.Stderr, "\n%d regression(s) beyond %.0f%%:\n", len(regressions), *maxRegress*100)
