@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
+.PHONY: all check build test race test-race vet lint lint-fix bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
 
 all: check
 
@@ -29,10 +29,18 @@ vet:
 
 # Repo-specific static analysis: wall-clock reads, global rand, sentinel
 # identity comparisons, blocking sim calls under mutexes, metric naming,
-# map-iteration order leaking into output.
+# map-iteration order leaking into output, plus the whole-program
+# concurrency gate (lock-order cycles, atomic/plain access mixes,
+# untied goroutines, stale suppressions).
 # Exits non-zero on any unsuppressed finding.
 lint:
 	$(GO) run ./cmd/ofc-lint ./...
+
+# Apply every suggested fix (errors.Is rewrites, stale-directive
+# deletions), then re-check. The CI lint job asserts this produces no
+# diff on a clean tree, which proves the fixes are idempotent.
+lint-fix:
+	$(GO) run ./cmd/ofc-lint -fix ./...
 
 # One benchmark per table/figure, headline quantities as metrics.
 bench:

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix reports any field (or package-level variable) that is
+// accessed both through sync/atomic and through plain loads/stores
+// anywhere in the program. Mixing the two is the quiet way to corrupt
+// a counter: the atomic side establishes no happens-before for the
+// plain side, the race detector only sees it on the interleaving that
+// actually collides, and the corrupted value is usually a statistic
+// the experiment harness reports as truth. Each package's fact pass
+// exports its atomic access set (field class → sites); the program
+// pass unions the facts and re-walks every package for unsanctioned
+// plain accesses to those classes.
+//
+// Sanctioned (not plain) uses: passing &f to a sync/atomic function,
+// calling a method on a typed atomic (atomic.Int64 and friends),
+// taking the address of a typed-atomic field to hand the pointer on,
+// and composite-literal construction (which precedes publication).
+// Plain accesses in _test.go files are exempt: tests assert on
+// quiesced state after the simulation stops. Typed-atomic fields are
+// also checked for plain assignment/copy — `s.ops = atomic.Int64{}`
+// resets a live counter racily.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "forbid mixing sync/atomic and plain access to the same field anywhere in the program",
+	Facts:      atomicMixFacts,
+	FactType:   func() Fact { return new(AtomicFact) },
+	RunProgram: runAtomicMixProgram,
+}
+
+// AtomicFact is one package's atomic access set.
+type AtomicFact struct {
+	// Fields maps field class ("pkg.Type.field" or "pkg.var") to the
+	// sites that access it atomically, sorted.
+	Fields map[string][]Site `json:"fields,omitempty"`
+}
+
+func atomicMixFacts(p *Pass) (Fact, error) {
+	fields := map[string][]Site{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Typed atomic method: s.ops.Add(1) — the receiver is
+				// the atomically-accessed location.
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if class := fieldClass(p, sel.X); class != "" {
+						fields[class] = append(fields[class], p.Site(sel.X.Pos()))
+					}
+				}
+				return true
+			}
+			// Function style: atomic.AddInt64(&s.n, 1).
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if class := fieldClass(p, un.X); class != "" {
+					fields[class] = append(fields[class], p.Site(un.X.Pos()))
+				}
+			}
+			return true
+		})
+	}
+	if len(fields) == 0 {
+		return nil, nil
+	}
+	for class := range fields {
+		sites := fields[class]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].less(sites[j]) })
+		// One representative site per class keeps facts small; the
+		// message only needs an example.
+		fields[class] = sites[:1]
+	}
+	return &AtomicFact{Fields: fields}, nil
+}
+
+func runAtomicMixProgram(pp *ProgramPass) error {
+	// Union the atomic access sets of every package.
+	atomic := map[string]Site{}
+	for _, path := range pp.Facts.Packages(pp.Analyzer.Name) {
+		fact := pp.Fact(path).(*AtomicFact)
+		for class, sites := range fact.Fields {
+			if old, ok := atomic[class]; !ok || sites[0].less(old) {
+				atomic[class] = sites[0]
+			}
+		}
+	}
+	if len(atomic) == 0 {
+		return nil
+	}
+	for _, pkg := range pp.Pkgs {
+		p := &Pass{Analyzer: pp.Analyzer, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info}
+		sanctioned := atomicSanctioned(p)
+		for _, f := range pkg.Files {
+			if p.InTestFile(f.Pos()) {
+				continue // tests assert on quiesced state
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				var class string
+				switch e := n.(type) {
+				case *ast.SelectorExpr:
+					if sanctioned[e] {
+						return true
+					}
+					if s, ok := p.Info.Selections[e]; !ok || s.Kind() != types.FieldVal {
+						return true
+					}
+					class = fieldClass(p, e)
+				case *ast.Ident:
+					if sanctioned[e] {
+						return true
+					}
+					v, ok := p.Info.Uses[e].(*types.Var)
+					if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+						return true
+					}
+					class = v.Pkg().Path() + "." + v.Name()
+				default:
+					return true
+				}
+				if site, ok := atomic[class]; ok && class != "" {
+					pp.Report(Finding{
+						File: p.Fset.Position(n.Pos()).Filename,
+						Line: p.Fset.Position(n.Pos()).Line,
+						Col:  p.Fset.Position(n.Pos()).Column,
+						Message: "plain access to " + shortClass(class) + ", which is accessed atomically at " +
+							site.String() + "; every load/store must go through sync/atomic (or move both sides under one mutex)",
+					})
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// atomicSanctioned marks the expression nodes whose involvement with
+// an atomic location is legitimate: atomic call receivers, &f
+// arguments to sync/atomic functions, and addresses of typed-atomic
+// fields.
+func atomicSanctioned(p *Pass) map[ast.Expr]bool {
+	out := map[ast.Expr]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(p, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+						sanctionChain(out, sel.X)
+					}
+					return true
+				}
+				for _, arg := range n.Args {
+					if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+						sanctionChain(out, un.X)
+					}
+				}
+			case *ast.UnaryExpr:
+				// &s.ops where ops is a typed atomic: the pointer can
+				// only be used through methods downstream.
+				if n.Op == token.AND && isTypedAtomic(p, n.X) {
+					sanctionChain(out, n.X)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// sanctionChain sanctions an access expression. Only the accessed
+// node itself is sanctioned — its base (`s` in `s.ops`) stays subject
+// to its own checks.
+func sanctionChain(out map[ast.Expr]bool, e ast.Expr) {
+	out[ast.Unparen(e)] = true
+}
+
+// isTypedAtomic reports whether e's type is a named type from
+// sync/atomic (Int64, Uint32, Bool, Value, Pointer[T], ...).
+func isTypedAtomic(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	name := typeName(tv.Type)
+	return strings.HasPrefix(name, "sync/atomic.")
+}

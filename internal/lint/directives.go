@@ -13,7 +13,11 @@ import (
 // placed either on the same line as the flagged code (trailing
 // comment) or on the line directly above it. The reason is mandatory:
 // a suppression without a stated justification is itself reported as a
-// `directive` finding, so the gate cannot be silenced silently.
+// `directive` finding, so the gate cannot be silenced silently. A
+// directive naming a nonexistent analyzer is likewise an error — never
+// a silent no-op — and a well-formed directive that suppresses nothing
+// is flagged stale by the unusedallow check (its fix deletes the
+// comment).
 
 // directiveAnalyzer names the pseudo-analyzer used for malformed
 // //lint: comments. It is not suppressible via //lint:allow.
@@ -25,13 +29,28 @@ type allowKey struct {
 	analyzer string
 }
 
+// directive is one well-formed //lint:allow comment.
+type directive struct {
+	file     string
+	line     int
+	col      int
+	analyzer string
+	reason   string
+	// start/end are byte offsets of the comment in its file, for the
+	// unusedallow deletion fix.
+	start, end int
+	// used is set when the directive suppresses at least one finding.
+	used bool
+}
+
 type suppressor struct {
-	allowed   map[allowKey]bool
-	malformed []Finding
+	allowed    map[allowKey]*directive
+	directives []*directive
+	malformed  []Finding
 }
 
 func newSuppressor() *suppressor {
-	return &suppressor{allowed: map[allowKey]bool{}}
+	return &suppressor{allowed: map[allowKey]*directive{}}
 }
 
 // scan collects every //lint: directive in the package.
@@ -70,20 +89,40 @@ func (s *suppressor) scan(pkg *Package) {
 					})
 					continue
 				}
-				s.allowed[allowKey{pos.Filename, pos.Line, name}] = true
+				d := &directive{
+					file: pos.Filename, line: pos.Line, col: pos.Column,
+					analyzer: name, reason: strings.TrimSpace(reason),
+					start: pos.Offset,
+					end:   pkg.Fset.Position(c.End()).Offset,
+				}
+				s.directives = append(s.directives, d)
+				key := allowKey{pos.Filename, pos.Line, name}
+				if s.allowed[key] == nil {
+					s.allowed[key] = d
+				}
 			}
 		}
 	}
 }
 
 // allows reports whether a directive on the finding's line or the line
-// above covers it. Directive findings themselves can't be allowed.
+// above covers it, marking that directive used. Directive findings
+// themselves can't be allowed.
 func (s *suppressor) allows(f Finding) bool {
 	if f.Analyzer == directiveAnalyzer {
 		return false
 	}
-	return s.allowed[allowKey{f.File, f.Line, f.Analyzer}] ||
-		s.allowed[allowKey{f.File, f.Line - 1, f.Analyzer}]
+	return s.use(f.File, f.Line, f.Analyzer) || s.use(f.File, f.Line-1, f.Analyzer)
+}
+
+// use marks the directive at (file, line) covering analyzer as used.
+func (s *suppressor) use(file string, line int, analyzer string) bool {
+	d := s.allowed[allowKey{file, line, analyzer}]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }
 
 func knownAnalyzer(name string) bool {

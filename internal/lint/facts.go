@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// The fact system turns the per-package walker into a whole-program
+// analyzer while staying stdlib-only. It mirrors go/analysis Facts in
+// shape: when an analyzer declares a Facts hook, its per-package run
+// exports one serializable fact object (lock-acquisition sets per
+// function, atomic-vs-plain access sets per field, goroutine-spawn
+// escape info), and every downstream package — packages are analyzed
+// in import order — imports the already-final facts of its
+// dependencies through Pass.Fact. After the last package, analyzers
+// with a RunProgram hook see the full fact store at once and report
+// global findings (the cross-package lock graph, program-wide
+// atomic/plain mixes).
+//
+// Facts round-trip through JSON on every export: the store keeps only
+// what survived encode→decode, so a fact type that silently drops
+// state (unexported fields, unsupported types) is caught by the first
+// analyzer run, not by a future incremental mode.
+
+// Fact is one analyzer's per-package datum. Concrete fact types must
+// round-trip through encoding/json; the analyzer's FactType hook
+// returns a pointer to a zero value for decoding.
+type Fact any
+
+// Site is a position inside a fact. Facts outlive the token.FileSet
+// they were computed under, so positions are stored resolved.
+type Site struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (s Site) String() string { return fmt.Sprintf("%s:%d", s.File, s.Line) }
+
+// less orders sites by (file, line, col) for deterministic output.
+func (s Site) less(t Site) bool {
+	if s.File != t.File {
+		return s.File < t.File
+	}
+	if s.Line != t.Line {
+		return s.Line < t.Line
+	}
+	return s.Col < t.Col
+}
+
+type factKey struct {
+	analyzer string
+	pkg      string
+}
+
+// FactStore holds every exported fact of one Run, keyed by
+// (analyzer, package path).
+type FactStore struct {
+	facts map[factKey]Fact
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore {
+	return &FactStore{facts: map[factKey]Fact{}}
+}
+
+// export records a fact after forcing it through its serialized form.
+// The returned fact is the decoded copy — the live pipeline consumes
+// exactly what an on-disk fact file would contain.
+func (s *FactStore) export(a *Analyzer, pkg string, f Fact) (Fact, error) {
+	if f == nil {
+		return nil, nil
+	}
+	if a.FactType == nil {
+		return nil, fmt.Errorf("lint: analyzer %s exports facts but has no FactType", a.Name)
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s fact for %s does not serialize: %v", a.Name, pkg, err)
+	}
+	decoded := a.FactType()
+	if err := json.Unmarshal(data, decoded); err != nil {
+		return nil, fmt.Errorf("lint: %s fact for %s does not round-trip: %v", a.Name, pkg, err)
+	}
+	s.facts[factKey{a.Name, pkg}] = decoded
+	return decoded, nil
+}
+
+// Fact returns the fact analyzer exported for pkg, or nil.
+func (s *FactStore) Fact(analyzer, pkg string) Fact {
+	return s.facts[factKey{analyzer, pkg}]
+}
+
+// Packages lists every package path that has a fact from analyzer,
+// sorted for deterministic iteration.
+func (s *FactStore) Packages(analyzer string) []string {
+	var out []string
+	for k := range s.facts {
+		if k.analyzer == analyzer {
+			out = append(out, k.pkg)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodePackage serializes every fact exported for one package as a
+// JSON object keyed by analyzer name — the wire format an incremental
+// driver would cache per package.
+func (s *FactStore) EncodePackage(pkg string) ([]byte, error) {
+	obj := map[string]Fact{}
+	for k, f := range s.facts {
+		if k.pkg == pkg {
+			obj[k.analyzer] = f
+		}
+	}
+	return json.Marshal(obj)
+}
+
+// DecodePackage loads facts for one package from EncodePackage output,
+// resolving fact types through the given analyzers.
+func (s *FactStore) DecodePackage(pkg string, data []byte, analyzers []*Analyzer) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("lint: decoding facts for %s: %v", pkg, err)
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	for name, msg := range raw {
+		a, ok := byName[name]
+		if !ok || a.FactType == nil {
+			return fmt.Errorf("lint: facts for %s name unknown analyzer %q", pkg, name)
+		}
+		f := a.FactType()
+		if err := json.Unmarshal(msg, f); err != nil {
+			return fmt.Errorf("lint: decoding %s fact for %s: %v", name, pkg, err)
+		}
+		s.facts[factKey{name, pkg}] = f
+	}
+	return nil
+}
+
+// topoSort orders packages so every package follows the packages it
+// imports (restricted to the loaded set). Ties break lexicographically
+// by import path, keeping fact-pass order — and therefore finding
+// order — identical across runs. Import cycles cannot occur in
+// compiled Go; if one sneaks in through a malformed load, the residue
+// is appended in path order rather than dropped.
+func topoSort(pkgs []*Package) []*Package {
+	byPath := map[string]*Package{}
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	indeg := map[string]int{}
+	dependents := map[string][]string{}
+	for _, p := range pkgs {
+		if _, ok := indeg[p.Path]; !ok {
+			indeg[p.Path] = 0
+		}
+		for _, imp := range p.Types.Imports() {
+			if _, loaded := byPath[imp.Path()]; loaded && imp.Path() != p.Path {
+				indeg[p.Path]++
+				dependents[imp.Path()] = append(dependents[imp.Path()], p.Path)
+			}
+		}
+	}
+	var ready []string
+	for path, d := range indeg {
+		if d == 0 {
+			ready = append(ready, path)
+		}
+	}
+	sort.Strings(ready)
+	var out []*Package
+	done := map[string]bool{}
+	for len(ready) > 0 {
+		path := ready[0]
+		ready = ready[1:]
+		done[path] = true
+		out = append(out, byPath[path])
+		next := append([]string{}, dependents[path]...)
+		sort.Strings(next)
+		for _, dep := range next {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		sort.Strings(ready)
+	}
+	if len(out) < len(pkgs) {
+		var rest []string
+		for _, p := range pkgs {
+			if !done[p.Path] {
+				rest = append(rest, p.Path)
+			}
+		}
+		sort.Strings(rest)
+		for _, path := range rest {
+			out = append(out, byPath[path])
+		}
+	}
+	return out
+}
+
+// ProgramPass carries the whole program — every loaded package in
+// import order plus the full fact store — through one analyzer's
+// RunProgram hook.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	// Pkgs is every analyzed package in topological (import) order.
+	Pkgs  []*Package
+	Facts *FactStore
+
+	report func(Finding)
+}
+
+// Fact returns this analyzer's fact for pkg, or nil.
+func (pp *ProgramPass) Fact(pkg string) Fact {
+	return pp.Facts.Fact(pp.Analyzer.Name, pkg)
+}
+
+// Report records a whole-program finding. The caller fills position
+// fields from fact sites; Analyzer is stamped here.
+func (pp *ProgramPass) Report(f Finding) {
+	f.Analyzer = pp.Analyzer.Name
+	pp.report(f)
+}
+
+// ReportSite records a finding anchored at a fact site.
+func (pp *ProgramPass) ReportSite(site Site, format string, args ...interface{}) {
+	pp.Report(Finding{
+		File:    site.File,
+		Line:    site.Line,
+		Col:     site.Col,
+		Message: fmt.Sprintf(format, args...),
+	})
+}

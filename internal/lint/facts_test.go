@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// probeFact exercises the serialization boundary: the unexported
+// field cannot survive the JSON round-trip the store enforces.
+type probeFact struct {
+	Kept    string `json:"kept"`
+	dropped string
+}
+
+func TestFactExportRoundTrips(t *testing.T) {
+	store := NewFactStore()
+	a := &Analyzer{Name: "probe", FactType: func() Fact { return new(probeFact) }}
+	decoded, err := store.export(a, "p", &probeFact{Kept: "x", dropped: "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := decoded.(*probeFact)
+	if !ok {
+		t.Fatalf("export returned %T, want *probeFact", decoded)
+	}
+	if got.Kept != "x" {
+		t.Errorf("Kept = %q, want %q", got.Kept, "x")
+	}
+	if got.dropped != "" {
+		t.Errorf("unexported field survived the round-trip: %q; the store must hold only serialized state", got.dropped)
+	}
+	if store.Fact("probe", "p") != decoded {
+		t.Error("store.Fact did not return the decoded copy")
+	}
+	if store.Fact("probe", "q") != nil {
+		t.Error("store.Fact returned a fact for a package that exported none")
+	}
+}
+
+func TestFactExportRejectsUnserializable(t *testing.T) {
+	type badFact struct {
+		Ch chan int `json:"ch"`
+	}
+	store := NewFactStore()
+	a := &Analyzer{Name: "bad", FactType: func() Fact { return new(badFact) }}
+	if _, err := store.export(a, "p", &badFact{}); err == nil || !strings.Contains(err.Error(), "serialize") {
+		t.Fatalf("export of a channel-bearing fact: err = %v, want serialization error", err)
+	}
+}
+
+func TestFactExportRequiresFactType(t *testing.T) {
+	store := NewFactStore()
+	a := &Analyzer{Name: "untyped"}
+	if _, err := store.export(a, "p", &probeFact{}); err == nil || !strings.Contains(err.Error(), "FactType") {
+		t.Fatalf("export without FactType: err = %v, want FactType error", err)
+	}
+}
+
+// TestEncodeDecodePackage round-trips the per-package wire format an
+// incremental driver would cache.
+func TestEncodeDecodePackage(t *testing.T) {
+	store := NewFactStore()
+	lf := &LockFact{Funcs: map[string]*LockFuncFact{
+		"p.F": {
+			Acquires: []string{"p.T.mu"},
+			Edges:    []LockEdge{{From: "p.T.mu", To: "q.U.mu", Site: Site{File: "f.go", Line: 3, Col: 2}, Func: "p.F", Via: "q.G"}},
+		},
+	}}
+	gf := &GoroFact{Spawns: []GoroSpawn{{Site: Site{File: "f.go", Line: 9, Col: 2}, Func: "p.F", Tied: true, How: "waitgroup"}}}
+	if _, err := store.export(LockOrder, "p", lf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.export(GoroLeak, "p", gf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.EncodePackage("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewFactStore()
+	if err := fresh.DecodePackage("p", data, All()); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Fact(LockOrder.Name, "p"); !reflect.DeepEqual(got, lf) {
+		t.Errorf("lockorder fact after decode = %+v, want %+v", got, lf)
+	}
+	if got := fresh.Fact(GoroLeak.Name, "p"); !reflect.DeepEqual(got, gf) {
+		t.Errorf("goroleak fact after decode = %+v, want %+v", got, gf)
+	}
+	if got := fresh.Packages(LockOrder.Name); len(got) != 1 || got[0] != "p" {
+		t.Errorf("Packages(lockorder) = %v, want [p]", got)
+	}
+}
+
+func TestDecodePackageUnknownAnalyzer(t *testing.T) {
+	store := NewFactStore()
+	if err := store.DecodePackage("p", []byte(`{"nope":{}}`), All()); err == nil {
+		t.Fatal("DecodePackage accepted facts from an unknown analyzer")
+	}
+}
+
+// TestTopoSortOrder loads the two-package lockorder testdata in both
+// input orders and requires the same dependency-first output — the
+// property that makes downstream fact imports final.
+func TestTopoSortOrder(t *testing.T) {
+	loader := NewLoader()
+	pa, err := loader.LoadDirAs("testdata/lockorder/a", "ofc/lofake/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := loader.LoadDirAs("testdata/lockorder/b", "ofc/lofake/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range [][]*Package{{pa, pb}, {pb, pa}} {
+		var got []string
+		for _, p := range topoSort(in) {
+			got = append(got, p.Path)
+		}
+		want := []string{"ofc/lofake/a", "ofc/lofake/b"}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("topoSort(%v) order = %v, want %v", []string{in[0].Path, in[1].Path}, got, want)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SuggestedFix support: an analyzer attaches a Fix — pure textual
+// edits, expressed as byte offsets into the flagged file — to a
+// finding, and `ofc-lint -fix` applies every unsuppressed fix in one
+// deterministic pass. Fixes are required to be idempotent through the
+// analyzer: applying a fix removes the pattern that produced the
+// finding, so a second run proposes no further edits (the fix-clean CI
+// step asserts exactly that on the repository).
+
+// TextEdit replaces file[start:end) with NewText.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	// NewText is the replacement; empty deletes the span.
+	NewText string `json:"newText"`
+	// TrimBlankLine additionally removes the whole line when the edit
+	// leaves it blank — used by comment-deletion fixes so a directive
+	// on its own line doesn't leave an empty one behind.
+	TrimBlankLine bool `json:"trimBlankLine,omitempty"`
+}
+
+// Fix is one suggested resolution: a short description plus the edits
+// that implement it.
+type Fix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// FixResult summarizes one ApplyFixes run.
+type FixResult struct {
+	// Applied counts findings whose fix was applied in full.
+	Applied int
+	// Skipped counts findings dropped because an edit overlapped one
+	// already taken (first-in-position order wins).
+	Skipped int
+	// Files lists every rewritten file, sorted.
+	Files []string
+}
+
+// ApplyFixes applies the suggested fixes of every unsuppressed finding
+// to the files on disk. Edits are deduplicated (two findings may both
+// insert the same import), checked for overlap — the finding earlier
+// in the deterministic order wins, later conflicting fixes are skipped
+// and left for a second run — and applied back-to-front so offsets
+// stay valid.
+func ApplyFixes(findings []Finding) (*FixResult, error) {
+	type edit struct {
+		TextEdit
+		finding int // index, for per-finding accounting
+	}
+	res := &FixResult{}
+	var edits []edit
+	taken := map[TextEdit]bool{}
+	skipped := map[int]bool{}
+	for i, f := range findings {
+		if f.Suppressed || f.Fix == nil {
+			continue
+		}
+		for _, e := range f.Fix.Edits {
+			if e.Start < 0 || e.End < e.Start {
+				return nil, fmt.Errorf("lint: fix for %s has invalid span [%d,%d)", f, e.Start, e.End)
+			}
+			if taken[e] {
+				continue // identical edit from another finding
+			}
+			taken[e] = true
+			edits = append(edits, edit{e, i})
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].File != edits[j].File {
+			return edits[i].File < edits[j].File
+		}
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+
+	// Drop whole findings any of whose edits overlap an earlier edit.
+	lastEnd := map[string]int{}
+	for _, e := range edits {
+		if e.Start < lastEnd[e.File] {
+			skipped[e.finding] = true
+			continue
+		}
+		lastEnd[e.File] = e.End
+	}
+
+	byFile := map[string][]edit{}
+	for _, e := range edits {
+		if skipped[e.finding] {
+			continue
+		}
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	var files []string
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %v", err)
+		}
+		out := src
+		fes := byFile[name]
+		for i := len(fes) - 1; i >= 0; i-- {
+			e := fes[i]
+			if e.End > len(out) {
+				return nil, fmt.Errorf("lint: fix span [%d,%d) past end of %s", e.Start, e.End, name)
+			}
+			start, end := e.Start, e.End
+			if e.TrimBlankLine && e.NewText == "" {
+				start, end = widenToBlankLine(out, start, end)
+			}
+			out = append(append(append([]byte{}, out[:start]...), e.NewText...), out[end:]...)
+		}
+		info, err := os.Stat(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(name, out, info.Mode().Perm()); err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %v", err)
+		}
+		res.Files = append(res.Files, name)
+	}
+
+	for i, f := range findings {
+		if f.Suppressed || f.Fix == nil {
+			continue
+		}
+		if skipped[i] {
+			res.Skipped++
+		} else {
+			res.Applied++
+		}
+	}
+	return res, nil
+}
+
+// widenToBlankLine extends a deletion span to swallow the whole line —
+// including its trailing newline — when everything else on the line is
+// whitespace.
+func widenToBlankLine(src []byte, start, end int) (int, int) {
+	ls := start
+	for ls > 0 && src[ls-1] != '\n' {
+		if src[ls-1] != ' ' && src[ls-1] != '\t' {
+			// Code precedes the span — a trailing comment. Still eat
+			// the padding between the code and the comment.
+			return ls, end
+		}
+		ls--
+	}
+	le := end
+	for le < len(src) && src[le] != '\n' {
+		if src[le] != ' ' && src[le] != '\t' {
+			return start, end // code follows the span
+		}
+		le++
+	}
+	if le < len(src) {
+		le++ // the newline itself
+	}
+	return ls, le
+}

@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func readFile(t *testing.T, p string) string {
+	t.Helper()
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func fixFinding(file string, edits ...TextEdit) Finding {
+	return Finding{File: file, Analyzer: "test", Fix: &Fix{Message: "test fix", Edits: edits}}
+}
+
+func TestApplyFixesOverlap(t *testing.T) {
+	p := writeTempFile(t, "f.txt", "abcdef")
+	res, err := ApplyFixes([]Finding{
+		fixFinding(p, TextEdit{File: p, Start: 1, End: 4, NewText: "X"}),
+		fixFinding(p, TextEdit{File: p, Start: 2, End: 5, NewText: "Y"}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 1 {
+		t.Errorf("Applied=%d Skipped=%d, want 1/1", res.Applied, res.Skipped)
+	}
+	if got := readFile(t, p); got != "aXef" {
+		t.Errorf("content = %q, want %q", got, "aXef")
+	}
+}
+
+func TestApplyFixesDedup(t *testing.T) {
+	// Two findings proposing the identical edit (both inserting the
+	// same import) apply it once and both count as applied.
+	p := writeTempFile(t, "f.txt", "head tail")
+	e := TextEdit{File: p, Start: 4, End: 4, NewText: " mid"}
+	res, err := ApplyFixes([]Finding{fixFinding(p, e), fixFinding(p, e)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 2 || res.Skipped != 0 {
+		t.Errorf("Applied=%d Skipped=%d, want 2/0", res.Applied, res.Skipped)
+	}
+	if got := readFile(t, p); got != "head mid tail" {
+		t.Errorf("content = %q, want %q", got, "head mid tail")
+	}
+}
+
+func TestApplyFixesTrimBlankLine(t *testing.T) {
+	// A comment alone on its line takes the whole line with it; a
+	// trailing comment takes its leading padding.
+	alone := "x = 1\n\t// gone\ny = 2\n"
+	p := writeTempFile(t, "alone.txt", alone)
+	start := strings.Index(alone, "// gone")
+	if _, err := ApplyFixes([]Finding{fixFinding(p,
+		TextEdit{File: p, Start: start, End: start + len("// gone"), TrimBlankLine: true})}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, p); got != "x = 1\ny = 2\n" {
+		t.Errorf("standalone deletion = %q, want %q", got, "x = 1\ny = 2\n")
+	}
+
+	trailing := "x = 1 // gone\ny = 2\n"
+	p2 := writeTempFile(t, "trailing.txt", trailing)
+	start = strings.Index(trailing, "// gone")
+	if _, err := ApplyFixes([]Finding{fixFinding(p2,
+		TextEdit{File: p2, Start: start, End: start + len("// gone"), TrimBlankLine: true})}); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, p2); got != "x = 1\ny = 2\n" {
+		t.Errorf("trailing deletion = %q, want %q", got, "x = 1\ny = 2\n")
+	}
+}
+
+func TestApplyFixesSkipsSuppressed(t *testing.T) {
+	p := writeTempFile(t, "f.txt", "abc")
+	f := fixFinding(p, TextEdit{File: p, Start: 0, End: 1, NewText: "Z"})
+	f.Suppressed = true
+	res, err := ApplyFixes([]Finding{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 0 || len(res.Files) != 0 {
+		t.Errorf("suppressed fix applied: %+v", res)
+	}
+	if got := readFile(t, p); got != "abc" {
+		t.Errorf("file rewritten to %q", got)
+	}
+}
+
+// fixdataRun loads a fixdata copy fresh (positions shift after edits)
+// and runs the two fix-bearing analyzers over it.
+func fixdataRun(t *testing.T, dir string) []Finding {
+	t.Helper()
+	pkg, err := NewLoader().LoadDirAs(dir, "ofc/fixfake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run([]*Package{pkg}, []*Analyzer{SentErr, UnusedAllow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+// TestFixIdempotent is the acceptance property: applying every
+// suggested fix removes the patterns that produced the findings, so
+// the re-run is clean and a second -fix pass edits nothing.
+func TestFixIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: loads the package twice from source")
+	}
+	dir := t.TempDir()
+	src, err := filepath.Glob("testdata/fixdata/a/*.go")
+	if err != nil || len(src) == 0 {
+		t.Fatalf("fixdata glob: %v (%d files)", err, len(src))
+	}
+	for _, name := range src {
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(name)), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	first := fixdataRun(t, dir)
+	byAnalyzer := map[string]int{}
+	for _, f := range first {
+		byAnalyzer[f.Analyzer]++
+		if f.Fix == nil {
+			t.Errorf("finding without fix in fixdata: %s", f)
+		}
+	}
+	if byAnalyzer["senterr"] != 2 || byAnalyzer["unusedallow"] != 1 {
+		t.Fatalf("first run findings by analyzer = %v, want senterr:2 unusedallow:1", byAnalyzer)
+	}
+
+	res, err := ApplyFixes(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 3 || res.Skipped != 0 || len(res.Files) != 2 {
+		t.Fatalf("ApplyFixes = %+v, want 3 applied over 2 files", res)
+	}
+
+	fixedA := readFile(t, filepath.Join(dir, "a.go"))
+	if !strings.Contains(fixedA, "errors.Is(err, ErrGone)") || strings.Contains(fixedA, "//lint:allow") {
+		t.Errorf("a.go after fix:\n%s", fixedA)
+	}
+	fixedB := readFile(t, filepath.Join(dir, "b.go"))
+	if !strings.Contains(fixedB, `import "errors"`) || !strings.Contains(fixedB, "!errors.Is(err, ErrGone)") {
+		t.Errorf("b.go after fix (import insertion + negated rewrite):\n%s", fixedB)
+	}
+
+	// The fixed package must type-check (fixdataRun fails otherwise)
+	// and produce nothing further to do.
+	second := fixdataRun(t, dir)
+	if len(second) != 0 {
+		t.Fatalf("findings after fix: %v", second)
+	}
+	res2, err := ApplyFixes(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Applied != 0 || len(res2.Files) != 0 {
+		t.Errorf("second fix pass edited files: %+v", res2)
+	}
+}
+
+// strict mirrors of the -json wire format: decoding with
+// DisallowUnknownFields pins the schema, so a renamed or added field
+// breaks this test instead of silently breaking CI annotation.
+type strictEdit struct {
+	File          string `json:"file"`
+	Start         int    `json:"start"`
+	End           int    `json:"end"`
+	NewText       string `json:"newText"`
+	TrimBlankLine bool   `json:"trimBlankLine"`
+}
+
+type strictFix struct {
+	Message string       `json:"message"`
+	Edits   []strictEdit `json:"edits"`
+}
+
+type strictFinding struct {
+	File       string     `json:"file"`
+	Line       int        `json:"line"`
+	Col        int        `json:"col"`
+	Analyzer   string     `json:"analyzer"`
+	Message    string     `json:"message"`
+	Suppressed bool       `json:"suppressed"`
+	Fix        *strictFix `json:"fix"`
+}
+
+func TestJSONSchema(t *testing.T) {
+	findings := fixdataRun(t, "testdata/fixdata/a") // read-only: no fixes applied
+	if len(findings) == 0 {
+		t.Fatal("no findings to encode")
+	}
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, findings); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	dec.DisallowUnknownFields()
+	var got []strictFinding
+	if err := dec.Decode(&got); err != nil {
+		t.Fatalf("-json output does not match the documented schema: %v", err)
+	}
+	if len(got) != len(findings) {
+		t.Fatalf("decoded %d findings, want %d", len(got), len(findings))
+	}
+	sawFix := false
+	for _, f := range got {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding with empty required field: %+v", f)
+		}
+		if f.Fix != nil {
+			sawFix = true
+			if len(f.Fix.Edits) == 0 {
+				t.Errorf("fix with no edits: %+v", f)
+			}
+		}
+	}
+	if !sawFix {
+		t.Error("no finding carried a fix; schema coverage incomplete")
+	}
+
+	buf.Reset()
+	if err := EncodeJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("EncodeJSON(nil) = %q, want []", buf.String())
+	}
+}

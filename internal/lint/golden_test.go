@@ -6,12 +6,15 @@ import (
 	"testing"
 )
 
-// The golden harness: each analyzer runs over a testdata package and
-// its findings are matched against `// want "regexp"` comments placed
-// on the offending lines. Every unsuppressed finding must be wanted,
-// every want must be found, and suppressed findings (the
-// `//lint:allow` cases) are counted explicitly so a silent analyzer
-// can't masquerade as a working suppression.
+// The golden harness: an analyzer set runs over one or more testdata
+// packages and its findings are matched against `// want "regexp"`
+// comments placed on the offending lines. Every unsuppressed finding
+// must be wanted, every want must be found, and suppressed findings
+// (the `//lint:allow` cases) are counted explicitly so a silent
+// analyzer can't masquerade as a working suppression. Multi-package
+// golden trees (the cross-package fact cases) list the dependency
+// first: LoadDirAs registers each package as an import override for
+// the ones after it.
 
 // goldenLoader is shared so the stdlib and ofc/internal dependencies
 // of the testdata packages are type-checked once per test binary.
@@ -25,32 +28,52 @@ type want struct {
 	matched bool
 }
 
-func runGolden(t *testing.T, a *Analyzer, dir, path string, wantSuppressed int) {
+// goldenPkg names one testdata directory and the import path to check
+// it under.
+type goldenPkg struct {
+	dir, path string
+}
+
+func runGolden(t *testing.T, analyzers []*Analyzer, gps []goldenPkg, wantSuppressed int) {
 	t.Helper()
-	pkg, err := goldenLoader.LoadDirAs(dir, path)
+	runGoldenWith(t, goldenLoader, analyzers, gps, wantSuppressed)
+}
+
+func runGoldenWith(t *testing.T, loader *Loader, analyzers []*Analyzer, gps []goldenPkg, wantSuppressed int) {
+	t.Helper()
+	var pkgs []*Package
+	for _, gp := range gps {
+		pkg, err := loader.LoadDirAs(gp.dir, gp.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	findings, err := Run(pkgs, analyzers)
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings, err := Run([]*Package{pkg}, []*Analyzer{a})
-	if err != nil {
-		t.Fatal(err)
+	if !FindingsSorted(findings) {
+		t.Errorf("findings not in deterministic (file, line, col, analyzer) order: %v", findings)
 	}
 
-	// Collect wants from the comments of every file in the package.
+	// Collect wants from the comments of every file in every package.
 	wants := map[string][]*want{} // file -> wants
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[pos.Filename] = append(wants[pos.Filename], &want{line: pos.Line, re: re})
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, m[1], err)
-				}
-				wants[pos.Filename] = append(wants[pos.Filename], &want{line: pos.Line, re: re})
 			}
 		}
 	}
@@ -89,32 +112,68 @@ func TestWallclockGolden(t *testing.T) {
 	// The package path places the testdata under internal/, where the
 	// invariant applies; clean_test.go inside exercises the _test.go
 	// allowlist and allow.go the suppression directive.
-	runGolden(t, Wallclock, "testdata/wallclock/sim", "ofc/internal/simfake", 1)
+	runGolden(t, []*Analyzer{Wallclock}, []goldenPkg{{"testdata/wallclock/sim", "ofc/internal/simfake"}}, 1)
 }
 
 func TestWallclockAllowsCommands(t *testing.T) {
 	// The same calls under a cmd/ path produce no findings at all.
-	runGolden(t, Wallclock, "testdata/wallclock/cmdok", "ofc/cmd/fakecmd", 0)
+	runGolden(t, []*Analyzer{Wallclock}, []goldenPkg{{"testdata/wallclock/cmdok", "ofc/cmd/fakecmd"}}, 0)
 }
 
 func TestSeededRandGolden(t *testing.T) {
-	runGolden(t, SeededRand, "testdata/seededrand/a", "ofc/internal/randfake", 1)
+	runGolden(t, []*Analyzer{SeededRand}, []goldenPkg{{"testdata/seededrand/a", "ofc/internal/randfake"}}, 1)
 }
 
 func TestSentErrGolden(t *testing.T) {
-	runGolden(t, SentErr, "testdata/senterr/a", "ofc/internal/errfake", 1)
+	runGolden(t, []*Analyzer{SentErr}, []goldenPkg{{"testdata/senterr/a", "ofc/internal/errfake"}}, 1)
 }
 
 func TestLockedRPCGolden(t *testing.T) {
-	runGolden(t, LockedRPC, "testdata/lockedrpc/a", "ofc/internal/lockfake", 1)
+	runGolden(t, []*Analyzer{LockedRPC}, []goldenPkg{{"testdata/lockedrpc/a", "ofc/internal/lockfake"}}, 1)
 }
 
 func TestMetricsNameGolden(t *testing.T) {
-	runGolden(t, MetricsName, "testdata/metricsname/a", "ofc/internal/mfake", 1)
+	runGolden(t, []*Analyzer{MetricsName}, []goldenPkg{{"testdata/metricsname/a", "ofc/internal/mfake"}}, 1)
 }
 
 func TestMapIterGolden(t *testing.T) {
-	runGolden(t, MapIter, "testdata/mapiter/a", "ofc/internal/mapfake", 1)
+	runGolden(t, []*Analyzer{MapIter}, []goldenPkg{{"testdata/mapiter/a", "ofc/internal/mapfake"}}, 1)
+}
+
+func TestLockOrderGolden(t *testing.T) {
+	// Two packages: b imports a, and the cycle exists only in the
+	// union of their facts — neither package alone contains it.
+	runGolden(t, []*Analyzer{LockOrder}, []goldenPkg{
+		{"testdata/lockorder/a", "ofc/lofake/a"},
+		{"testdata/lockorder/b", "ofc/lofake/b"},
+	}, 1)
+}
+
+func TestAtomicMixGolden(t *testing.T) {
+	// a performs only sanctioned atomic accesses; b's plain accesses
+	// are caught against a's exported fact.
+	runGolden(t, []*Analyzer{AtomicMix}, []goldenPkg{
+		{"testdata/atomicmix/a", "ofc/amfake/a"},
+		{"testdata/atomicmix/b", "ofc/amfake/b"},
+	}, 1)
+}
+
+func TestGoroLeakGolden(t *testing.T) {
+	runGolden(t, []*Analyzer{GoroLeak}, []goldenPkg{{"testdata/goroleak/a", "ofc/glfake"}}, 1)
+}
+
+func TestGoroLeakExemptsSim(t *testing.T) {
+	// The same raw-spawn shape under the scheduler's import path is
+	// exempt. A private loader keeps the fake "ofc/internal/sim" out
+	// of the shared loader's import overrides.
+	runGoldenWith(t, NewLoader(), []*Analyzer{GoroLeak},
+		[]goldenPkg{{"testdata/goroleak/sim", "ofc/internal/sim"}}, 0)
+}
+
+func TestUnusedAllowGolden(t *testing.T) {
+	// Staleness is judged against the full suite: a directive is only
+	// stale when its named analyzer ran and found nothing.
+	runGolden(t, All(), []goldenPkg{{"testdata/unusedallow/a", "ofc/internal/uafake"}}, 2)
 }
 
 // TestDirectiveDiagnostics checks that broken //lint: comments are
@@ -165,7 +224,7 @@ func firstWords(s string, n int) string {
 // TestByName covers the driver's -run flag resolution.
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
+	if err != nil || len(all) != 10 {
 		t.Fatalf("ByName(\"\") = %d analyzers, err %v", len(all), err)
 	}
 	two, err := ByName("wallclock, senterr")

@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GoroLeak flags raw `go` statements whose goroutine is not tied to a
+// lifetime the platform can see: a sim.Env process (spawn through
+// env.Go so Run/Stop account for it), a sync.WaitGroup (wg.Add before,
+// wg.Done inside), or a context/done-channel watch. An untied
+// goroutine outlives its owner silently — in simulation it keeps the
+// scheduler from draining, in production it leaks — and the scheduler
+// teardown bugs fixed in the pooled-timer overhaul all started as
+// exactly this shape. The fact pass exports every spawn with its
+// escape verdict (so a future incremental driver can re-judge a
+// package without re-walking its dependents); the program pass reports
+// the untied ones.
+//
+// internal/sim itself is exempt by path: it is the package that
+// implements process accounting, and its three raw spawns are the
+// mechanism the rest of the repo is required to use.
+var GoroLeak = &Analyzer{
+	Name:       "goroleak",
+	Doc:        "forbid raw go statements not tied to a sim.Env, WaitGroup, or context/done-channel lifetime",
+	Facts:      goroLeakFacts,
+	FactType:   func() Fact { return new(GoroFact) },
+	RunProgram: runGoroLeakProgram,
+}
+
+// GoroFact is one package's goroutine-spawn escape info.
+type GoroFact struct {
+	Spawns []GoroSpawn `json:"spawns,omitempty"`
+}
+
+// GoroSpawn is one raw go statement and its lifetime verdict.
+type GoroSpawn struct {
+	Site Site `json:"site"`
+	// Func is the enclosing function.
+	Func string `json:"func"`
+	// Tied is true when the goroutine's lifetime is anchored; How says
+	// what anchors it ("waitgroup", "context", "donechan").
+	Tied bool   `json:"tied"`
+	How  string `json:"how,omitempty"`
+}
+
+func goroLeakFacts(p *Pass) (Fact, error) {
+	if strings.HasSuffix(p.Path(), "internal/sim") {
+		return nil, nil
+	}
+	var spawns []GoroSpawn
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var enclosing string
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				enclosing = funcKey(fn)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				tied, how := goroTied(p, fd.Body, gs)
+				spawns = append(spawns, GoroSpawn{
+					Site: p.Site(gs.Pos()),
+					Func: enclosing,
+					Tied: tied,
+					How:  how,
+				})
+				return true
+			})
+		}
+	}
+	if len(spawns) == 0 {
+		return nil, nil
+	}
+	sort.Slice(spawns, func(i, j int) bool { return spawns[i].Site.less(spawns[j].Site) })
+	return &GoroFact{Spawns: spawns}, nil
+}
+
+func runGoroLeakProgram(pp *ProgramPass) error {
+	for _, path := range pp.Facts.Packages(pp.Analyzer.Name) {
+		fact := pp.Fact(path).(*GoroFact)
+		for _, s := range fact.Spawns {
+			if s.Tied {
+				continue
+			}
+			pp.ReportSite(s.Site, "raw go statement in %s is not tied to any lifetime; the goroutine can outlive its owner — spawn through env.Go, pair wg.Add/wg.Done, or watch ctx.Done()/a done channel",
+				shortFunc(s.Func))
+		}
+	}
+	return nil
+}
+
+// goroTied decides whether one go statement's goroutine is anchored to
+// a visible lifetime.
+func goroTied(p *Pass, enclosing *ast.BlockStmt, gs *ast.GoStmt) (bool, string) {
+	// An argument of type context.Context hands the goroutine a
+	// cancellation scope.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := p.Info.Types[arg]; ok && typeName(tv.Type) == "context.Context" {
+			return true, "context"
+		}
+	}
+	body, isLit := func() (*ast.BlockStmt, bool) {
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			return lit.Body, true
+		}
+		return nil, false
+	}()
+	if isLit {
+		tied, how := false, ""
+		ast.Inspect(body, func(n ast.Node) bool {
+			if tied {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+					if ok && fn.Name() == "Done" {
+						switch {
+						case isWaitGroupRecv(fn):
+							tied, how = true, "waitgroup"
+						case fn.Pkg() != nil && fn.Pkg().Path() == "context":
+							tied, how = true, "context"
+						}
+					}
+				}
+			case *ast.UnaryExpr:
+				// <-done on a struct{} channel is the stop-signal idiom.
+				if n.Op == token.ARROW && isDoneChan(p, n.X) {
+					tied, how = true, "donechan"
+				}
+			case *ast.RangeStmt:
+				if isDoneChan(p, n.X) {
+					tied, how = true, "donechan"
+				}
+			}
+			return true
+		})
+		if tied {
+			return true, how
+		}
+	}
+	// Named-function spawn (or a literal without its own anchor): a
+	// wg.Add in the enclosing function before the spawn ties it — the
+	// callee owns the Done.
+	tied := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return !tied
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Name() == "Add" && isWaitGroupRecv(fn) {
+				tied = true
+			}
+		}
+		return !tied
+	})
+	if tied {
+		return true, "waitgroup"
+	}
+	return false, ""
+}
+
+// isWaitGroupRecv reports whether fn is a method on sync.WaitGroup or
+// the sim package's WaitGroup.
+func isWaitGroupRecv(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	name := typeName(sig.Recv().Type())
+	return name == "sync.WaitGroup" || (strings.Contains(name, "internal/sim.") && strings.HasSuffix(name, ".WaitGroup"))
+}
+
+// isDoneChan reports whether e is a channel of empty structs — the
+// conventional stop/done signal type.
+func isDoneChan(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

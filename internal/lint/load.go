@@ -33,15 +33,41 @@ type Package struct {
 // one shared source importer, so stdlib dependencies are checked once
 // across the whole run. The source importer resolves module-local
 // import paths through the go command, keeping go.mod dependency-free.
+// Packages loaded explicitly with LoadDirAs are additionally recorded
+// as import overrides, so multi-package testdata trees (a fact-
+// exporting package plus a dependent that imports it under a fake
+// path) type-check without existing on the build list.
 type Loader struct {
 	Fset *token.FileSet
 	imp  types.Importer
+
+	// overrides maps import paths of LoadDirAs-loaded packages; the
+	// chained importer consults it before the source importer, and
+	// LoadPatterns never populates it, so production runs resolve
+	// imports exactly as the go command does.
+	overrides map[string]*types.Package
 }
 
 // NewLoader returns a fresh loader.
 func NewLoader() *Loader {
 	fset := token.NewFileSet()
-	return &Loader{Fset: fset, imp: importer.ForCompiler(fset, "source", nil)}
+	l := &Loader{Fset: fset, overrides: map[string]*types.Package{}}
+	l.imp = &chainImporter{l: l, src: importer.ForCompiler(fset, "source", nil)}
+	return l
+}
+
+// chainImporter resolves LoadDirAs overrides first, then falls back to
+// the source importer.
+type chainImporter struct {
+	l   *Loader
+	src types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := c.l.overrides[path]; ok {
+		return pkg, nil
+	}
+	return c.src.Import(path)
 }
 
 // listedPkg is the subset of `go list -json` output the loader needs.
@@ -125,7 +151,12 @@ func (l *Loader) LoadDirAs(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: no .go files in %s", dir)
 	}
 	sort.Strings(names)
-	return l.check(path, dir, names)
+	pkg, err := l.check(path, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	l.overrides[path] = pkg.Types
+	return pkg, nil
 }
 
 // check parses and type-checks one unit.

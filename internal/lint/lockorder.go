@@ -1,0 +1,826 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the program-wide lock graph and reports cycles as
+// potential deadlocks. Locks are abstracted to classes — the struct
+// type plus field that declares the sync.Mutex/RWMutex, or the package
+// plus name for a package-level mutex — the same abstraction the
+// kernel's lockdep uses. Each package's fact pass records, per
+// function, the set of lock classes it (transitively) acquires and
+// every held→acquired edge it witnesses, folding in the already-final
+// facts of imported packages, so a `core` function that calls into
+// `memctl` while holding core.CacheAgent.mu contributes core→memctl
+// edges without lockorder ever seeing both packages at once. The
+// program pass unions every edge, finds strongly connected components,
+// and reports one finding per cycle with the full witness chain
+// (file:line plus the function, and the callee the edge traveled
+// through). A cycle means two executions can acquire the same classes
+// in opposite orders — the interleaving-dependent deadlock that tests
+// only catch by luck.
+//
+// The analysis is a conservative over-approximation: held sets are
+// tracked linearly through each function (branch bodies are explored
+// with a copy and do not leak state), deferred unlocks hold to
+// function end, function literals passed to sim.Env.Go/After or `go`
+// statements start unheld (they run on other processes), and other
+// literal arguments are assumed to be invoked synchronously at the
+// call site. Interface-method callees cannot be resolved statically
+// and contribute no edges.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "build the whole-program lock graph from per-package facts and report acquisition-order cycles with witness chains",
+	Facts:      lockOrderFacts,
+	FactType:   func() Fact { return new(LockFact) },
+	RunProgram: runLockOrderProgram,
+}
+
+// LockFact is one package's exported lock facts.
+type LockFact struct {
+	// Funcs maps the qualified function name (pkg.Func or
+	// pkg.Type.Method) to its lock behavior.
+	Funcs map[string]*LockFuncFact `json:"funcs,omitempty"`
+}
+
+// LockFuncFact describes one function's lock behavior, final at
+// export: transitive acquire sets already include everything reachable
+// through same-package and imported callees.
+type LockFuncFact struct {
+	// Acquires lists every lock class the function may take,
+	// directly or through any call, sorted.
+	Acquires []string `json:"acquires,omitempty"`
+	// Edges are the held→acquired pairs witnessed in this function.
+	Edges []LockEdge `json:"edges,omitempty"`
+}
+
+// LockEdge is one witnessed ordering: To was acquired while From was
+// held.
+type LockEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Site Site   `json:"site"`
+	// Func is the qualified function containing the witness.
+	Func string `json:"func"`
+	// Via names the callee the acquisition traveled through, or "".
+	Via string `json:"via,omitempty"`
+}
+
+// loCall records one call made by a function during the walk.
+type loCall struct {
+	callee  string
+	samePkg bool
+	held    []string
+	site    Site
+	// forAcquires is false for calls that run asynchronously (go
+	// statements, async-spawned literals): their acquires must not
+	// leak into the spawning function's transitive set.
+	forAcquires bool
+}
+
+// loFunc accumulates one function's walk results before the fixpoint.
+type loFunc struct {
+	key    string
+	direct map[string]Site
+	edges  []LockEdge
+	calls  []loCall
+}
+
+func lockOrderFacts(p *Pass) (Fact, error) {
+	w := &loWalker{pass: p}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			w.fn = &loFunc{key: funcKey(fn), direct: map[string]Site{}}
+			w.stmts(fd.Body.List, nil)
+			w.funcs = append(w.funcs, w.fn)
+		}
+	}
+
+	// Transitive-acquire fixpoint. Imported packages' facts are final;
+	// same-package calls iterate until stable.
+	byKey := map[string]*loFunc{}
+	for _, fn := range w.funcs {
+		byKey[fn.key] = fn
+	}
+	acquires := map[string]map[string]bool{}
+	for _, fn := range w.funcs {
+		set := map[string]bool{}
+		for c := range fn.direct {
+			set[c] = true
+		}
+		acquires[fn.key] = set
+	}
+	calleeAcquires := func(c loCall) []string {
+		if c.samePkg {
+			if set, ok := acquires[c.callee]; ok {
+				return sortedKeys(set)
+			}
+			return nil
+		}
+		return w.importedAcquires(p, c.callee)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range w.funcs {
+			set := acquires[fn.key]
+			for _, c := range fn.calls {
+				if !c.forAcquires {
+					continue
+				}
+				for _, cls := range calleeAcquires(c) {
+					if !set[cls] {
+						set[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge expansion: a call made while holding H reaches every lock
+	// its callee may take.
+	for _, fn := range w.funcs {
+		for _, c := range fn.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, to := range calleeAcquires(c) {
+				for _, from := range c.held {
+					fn.edges = append(fn.edges, LockEdge{
+						From: from, To: to, Site: c.site, Func: fn.key, Via: c.callee,
+					})
+				}
+			}
+		}
+	}
+
+	fact := &LockFact{Funcs: map[string]*LockFuncFact{}}
+	for _, fn := range w.funcs {
+		if len(acquires[fn.key]) == 0 && len(fn.edges) == 0 {
+			continue
+		}
+		sortEdges(fn.edges)
+		fact.Funcs[fn.key] = &LockFuncFact{
+			Acquires: sortedKeys(acquires[fn.key]),
+			Edges:    dedupeEdges(fn.edges),
+		}
+	}
+	if len(fact.Funcs) == 0 {
+		return nil, nil
+	}
+	return fact, nil
+}
+
+// importedAcquires resolves a cross-package callee's transitive
+// acquire set through the fact store.
+func (w *loWalker) importedAcquires(p *Pass, callee string) []string {
+	i := strings.LastIndex(callee, ".")
+	if i < 0 {
+		return nil
+	}
+	// Method keys are pkg.Type.Method; try stripping one then two
+	// segments to find the owning package path.
+	for path := callee[:i]; ; {
+		if fact, ok := p.Fact(path).(*LockFact); ok && fact != nil {
+			if ff := fact.Funcs[callee]; ff != nil {
+				return ff.Acquires
+			}
+			return nil
+		}
+		j := strings.LastIndex(path, ".")
+		if j < 0 {
+			return nil
+		}
+		path = path[:j]
+	}
+}
+
+type loWalker struct {
+	pass  *Pass
+	fn    *loFunc
+	funcs []*loFunc
+	// async marks regions whose calls must not propagate acquires to
+	// the enclosing function (goroutine bodies, stored literals).
+	async bool
+}
+
+// stmts walks a statement list, threading the held lock stack.
+func (w *loWalker) stmts(list []ast.Stmt, held []string) []string {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *loWalker) stmt(s ast.Stmt, held []string) []string {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch op, class := w.lockOp(call); op {
+			case lockAcquire:
+				if class != "" {
+					site := w.pass.Site(call.Pos())
+					for _, h := range held {
+						w.fn.edges = append(w.fn.edges, LockEdge{From: h, To: class, Site: site, Func: w.fn.key})
+					}
+					if _, ok := w.fn.direct[class]; !ok {
+						w.fn.direct[class] = site
+					}
+					return append(cloneHeld(held), class)
+				}
+				return held
+			case lockRelease:
+				return removeHeld(held, class)
+			}
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		if op, _ := w.lockOp(s.Call); op == lockRelease {
+			return held // deferred unlock: held to function end
+		}
+		if op, _ := w.lockOp(s.Call); op == lockAcquire {
+			return held // deferred lock: pathological, ignore
+		}
+		// A deferred call runs at return with an unknown held set;
+		// record it unheld but let its acquires propagate (a caller
+		// holding X across this function still reaches them).
+		w.call(s.Call, nil)
+		for _, a := range s.Call.Args {
+			w.expr(a, nil)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack, unheld; its acquires do
+		// not become the spawner's.
+		prev := w.async
+		w.async = true
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, nil)
+		} else {
+			w.call(s.Call, nil)
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, nil)
+		}
+		w.async = prev
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, held)
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, cloneHeld(held))
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		w.stmts(s.Body.List, cloneHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, cloneHeld(held))
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	}
+	return held
+}
+
+// expr scans an expression for calls and function literals at the
+// current held set.
+func (w *loWalker) expr(e ast.Expr, held []string) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A bare literal (assigned, returned, stored) runs later in
+			// an unknown context: walk unheld and async.
+			prev := w.async
+			w.async = true
+			w.stmts(n.Body.List, nil)
+			w.async = prev
+			return false
+		case *ast.CallExpr:
+			if lit, ok := n.Fun.(*ast.FuncLit); ok {
+				// IIFE: executes right here, under the current held set.
+				w.stmts(lit.Body.List, cloneHeld(held))
+				for _, a := range n.Args {
+					w.expr(a, held)
+				}
+				return false
+			}
+			w.call(n, held)
+			// Literal arguments: async spawn APIs run them unheld on
+			// another process; anything else is assumed to invoke them
+			// synchronously under the current held set.
+			litHeld := held
+			litAsync := false
+			if w.isAsyncSpawner(n) {
+				litHeld = nil
+				litAsync = true
+			}
+			for _, a := range n.Args {
+				if lit, ok := a.(*ast.FuncLit); ok {
+					prev := w.async
+					w.async = w.async || litAsync
+					w.stmts(lit.Body.List, cloneHeld(litHeld))
+					w.async = prev
+				} else {
+					w.expr(a, held)
+				}
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// call records one resolved call at the current held set.
+func (w *loWalker) call(call *ast.CallExpr, held []string) {
+	fn := calleeFunc(w.pass, call)
+	if fn == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type().Underlying()) {
+			return // dynamic dispatch: unresolvable statically
+		}
+	}
+	if fn.Pkg() == nil {
+		return
+	}
+	w.fn.calls = append(w.fn.calls, loCall{
+		callee:      funcKey(fn),
+		samePkg:     fn.Pkg().Path() == w.pass.Path(),
+		held:        cloneHeld(held),
+		site:        w.pass.Site(call.Pos()),
+		forAcquires: !w.async,
+	})
+}
+
+// isAsyncSpawner reports whether the call hands its literal arguments
+// to another process: sim.Env.Go / sim.Env.After.
+func (w *loWalker) isAsyncSpawner(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), "internal/sim") {
+		return false
+	}
+	return fn.Name() == "Go" || fn.Name() == "After"
+}
+
+// lockOp classifies a statement-position call as a mutex acquire or
+// release and resolves its lock class.
+func (w *loWalker) lockOp(call *ast.CallExpr) (lockOpKind, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockNone, ""
+	}
+	fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockNone, ""
+	}
+	var op lockOpKind
+	switch fn.Name() {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	default:
+		return lockNone, ""
+	}
+	return op, lockClass(w.pass, sel)
+}
+
+// lockClass names the lock abstraction behind a sync.Mutex method
+// selector: the declaring struct type plus field path, or package plus
+// name for a package-level mutex. Local mutexes return "" (their
+// identity cannot cross functions).
+func lockClass(p *Pass, sel *ast.SelectorExpr) string {
+	if s, ok := p.Info.Selections[sel]; ok && len(s.Index()) > 1 {
+		// Embedded mutex: s.Lock() — the receiver's type embeds
+		// sync.Mutex; the class is receiver type + embedded field path.
+		owner := typeName(s.Recv())
+		path := fieldPath(s.Recv(), s.Index()[:len(s.Index())-1])
+		if owner == "" || path == "" {
+			return ""
+		}
+		return owner + "." + path
+	}
+	return fieldClass(p, sel.X)
+}
+
+// fieldClass names the struct field or package-level variable an
+// expression denotes: "pkg.Type.field" or "pkg.var", or "".
+func fieldClass(p *Pass, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			owner := typeName(s.Recv())
+			path := fieldPath(s.Recv(), s.Index())
+			if owner == "" || path == "" {
+				return ""
+			}
+			return owner + "." + path
+		}
+		if v, ok := p.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[e].(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.StarExpr:
+		return fieldClass(p, e.X)
+	case *ast.UnaryExpr:
+		return fieldClass(p, e.X)
+	}
+	return ""
+}
+
+// fieldPath renders a selection index path as dotted field names.
+func fieldPath(recv types.Type, index []int) string {
+	t := recv
+	var names []string
+	for _, idx := range index {
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || idx >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(idx)
+		names = append(names, f.Name())
+		t = f.Type()
+	}
+	return strings.Join(names, ".")
+}
+
+// calleeFunc resolves a call's static callee, handling selectors,
+// plain identifiers, and generic instantiations.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	case *ast.IndexExpr:
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if ident, ok := fun.X.(*ast.Ident); ok {
+			id = ident
+		}
+	case *ast.IndexListExpr:
+		if sel, ok := fun.X.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else if ident, ok := fun.X.(*ast.Ident); ok {
+			id = ident
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// --- program pass: graph union + cycle reporting ---
+
+func runLockOrderProgram(pp *ProgramPass) error {
+	// Union every edge; keep one deterministic witness per (from, to).
+	witness := map[[2]string]LockEdge{}
+	for _, path := range pp.Facts.Packages(pp.Analyzer.Name) {
+		fact := pp.Fact(path).(*LockFact)
+		for _, key := range sortedFactKeys(fact.Funcs) {
+			for _, e := range fact.Funcs[key].Edges {
+				k := [2]string{e.From, e.To}
+				if old, ok := witness[k]; !ok || edgeLess(e, old) {
+					witness[k] = e
+				}
+			}
+		}
+	}
+	adj := map[string][]string{}
+	var nodes []string
+	seen := map[string]bool{}
+	for k := range witness {
+		for _, n := range []string{k[0], k[1]} {
+			if !seen[n] {
+				seen[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+		adj[k[0]] = append(adj[k[0]], k[1])
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		sort.Strings(adj[n])
+	}
+
+	// Self-edges first: re-acquiring a held class deadlocks outright.
+	for _, n := range nodes {
+		if e, ok := witness[[2]string{n, n}]; ok {
+			pp.ReportSite(e.Site, "lock class %s is re-acquired while already held%s (in %s): a second Lock on the same sync.Mutex class self-deadlocks; release first or split the lock class",
+				shortClass(n), viaSuffix(e), shortFunc(e.Func))
+		}
+	}
+
+	// Strongly connected components over the remaining graph; any SCC
+	// with ≥2 nodes contains an acquisition-order cycle.
+	for _, scc := range tarjanSCC(nodes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		cycle := shortestCycle(scc, adj)
+		if len(cycle) == 0 {
+			continue
+		}
+		var chain []string
+		for i := 0; i < len(cycle); i++ {
+			from, to := cycle[i], cycle[(i+1)%len(cycle)]
+			e := witness[[2]string{from, to}]
+			chain = append(chain, fmt.Sprintf("%s → %s at %s (in %s%s)",
+				shortClass(from), shortClass(to), e.Site, shortFunc(e.Func), viaSuffix(e)))
+		}
+		first := witness[[2]string{cycle[0], cycle[1%len(cycle)]}]
+		pp.ReportSite(first.Site, "lock-order cycle (%d classes): %s; two executions can interleave these acquisitions into a deadlock — pick one global order",
+			len(cycle), strings.Join(chain, "; "))
+	}
+	return nil
+}
+
+// shortestCycle finds the minimal cycle through the lexicographically
+// smallest node of an SCC via BFS, deterministically.
+func shortestCycle(scc []string, adj map[string][]string) []string {
+	in := map[string]bool{}
+	for _, n := range scc {
+		in[n] = true
+	}
+	start := scc[0]
+	for _, n := range scc[1:] {
+		if n < start {
+			start = n
+		}
+	}
+	parent := map[string]string{}
+	queue := []string{start}
+	visited := map[string]bool{start: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !in[v] {
+				continue
+			}
+			if v == start {
+				// Reconstruct start → ... → u → start.
+				var rev []string
+				for x := u; ; x = parent[x] {
+					rev = append(rev, x)
+					if x == start {
+						break
+					}
+				}
+				out := make([]string, 0, len(rev))
+				for i := len(rev) - 1; i >= 0; i-- {
+					out = append(out, rev[i])
+				}
+				return out
+			}
+			if !visited[v] {
+				visited[v] = true
+				parent[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	return nil
+}
+
+// tarjanSCC returns strongly connected components, each sorted, in
+// deterministic (smallest-member) order.
+func tarjanSCC(nodes []string, adj map[string][]string) [][]string {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(scc)
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}
+
+// shortClass trims the module path prefix for readable messages:
+// "ofc/internal/core.CacheAgent.mu" → "core.CacheAgent.mu".
+func shortClass(class string) string {
+	i := strings.LastIndex(class, "/")
+	if i < 0 {
+		return class
+	}
+	return class[i+1:]
+}
+
+func shortFunc(fn string) string { return shortClass(fn) }
+
+func viaSuffix(e LockEdge) string {
+	if e.Via == "" {
+		return ""
+	}
+	return " via " + shortFunc(e.Via)
+}
+
+func edgeLess(a, b LockEdge) bool {
+	if a.Site != b.Site {
+		return a.Site.less(b.Site)
+	}
+	if a.Func != b.Func {
+		return a.Func < b.Func
+	}
+	return a.Via < b.Via
+}
+
+func sortEdges(edges []LockEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		return edgeLess(a, b)
+	})
+}
+
+func dedupeEdges(edges []LockEdge) []LockEdge {
+	out := edges[:0]
+	for i, e := range edges {
+		if i > 0 && e == out[len(out)-1] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedFactKeys(m map[string]*LockFuncFact) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// cloneHeld copies the held stack so branch bodies cannot mutate the
+// fall-through state.
+func cloneHeld(held []string) []string {
+	if len(held) == 0 {
+		return nil
+	}
+	return append([]string{}, held...)
+}
+
+// removeHeld drops the most recent occurrence of class. Unlocks of
+// untracked (local) or not-currently-held classes pop nothing: a local
+// mutex was never pushed, and a helper-style unlock of someone else's
+// lock must not release a tracked class.
+func removeHeld(held []string, class string) []string {
+	if len(held) == 0 || class == "" {
+		return held
+	}
+	out := cloneHeld(held)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] == class {
+			return append(out[:i], out[i+1:]...)
+		}
+	}
+	return out
+}

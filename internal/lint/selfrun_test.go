@@ -37,6 +37,9 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !FindingsSorted(findings) {
+		t.Error("repo-wide findings are not in the deterministic (file, line, col, analyzer) order")
+	}
 	for _, f := range Unsuppressed(findings) {
 		t.Errorf("%s", f)
 	}

@@ -1,0 +1,30 @@
+// Package a is atomicmix golden testdata: every access here is
+// sanctioned (atomic call arguments, typed-atomic methods, address
+// handoff), so the package itself is clean; package b mixes in plain
+// accesses that the program pass catches through a's exported fact.
+package a
+
+import "sync/atomic"
+
+// Stats mixes function-style and typed atomics plus one plain field.
+type Stats struct {
+	Hits int64
+	Ops  atomic.Int64
+	Name string
+}
+
+// Counter is a package-level atomically-accessed variable.
+var Counter int64
+
+// Touch performs only sanctioned accesses.
+func Touch(s *Stats) {
+	atomic.AddInt64(&s.Hits, 1)
+	atomic.AddInt64(&Counter, 1)
+	s.Ops.Add(1)
+}
+
+// Handoff takes the typed atomic's address for a caller to use
+// through methods — sanctioned, not a plain access.
+func Handoff(s *Stats) *atomic.Int64 {
+	return &s.Ops
+}

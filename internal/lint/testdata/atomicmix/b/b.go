@@ -1,0 +1,25 @@
+// Package b accesses package a's atomically-maintained locations with
+// plain loads and stores — the cross-package mix the program pass
+// exists to catch.
+package b
+
+import "ofc/amfake/a"
+
+// Report reads the counters without atomics.
+func Report(s *a.Stats) int64 {
+	total := s.Hits    // want "plain access to"
+	total += a.Counter // want "plain access to"
+	snapshot := s.Ops  // want "plain access to"
+	_ = snapshot
+	return total
+}
+
+// Label reads the never-atomic field — no finding.
+func Label(s *a.Stats) string {
+	return s.Name
+}
+
+// Reset documents why its plain store is safe — the suppressed case.
+func Reset(s *a.Stats) {
+	s.Hits = 0 //lint:allow atomicmix reset runs before the simulation publishes the struct
+}

@@ -1,0 +1,25 @@
+// Package a is fix-engine testdata: senterr findings with suggested
+// fixes plus a stale directive. The tests copy this directory to a
+// temp dir before applying fixes.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrGone is the sentinel the comparisons below match by identity.
+var ErrGone = errors.New("gone")
+
+// Check compares by identity; the fix rewrites to errors.Is without
+// touching the import block (errors is already imported here).
+func Check(err error) error {
+	if err == ErrGone {
+		return nil
+	}
+	return fmt.Errorf("check: %w", err)
+}
+
+// Stale carries a directive that suppresses nothing; its fix deletes
+// the comment.
+var Stale = 1 //lint:allow senterr nothing on this line compares errors

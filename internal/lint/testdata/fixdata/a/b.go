@@ -1,0 +1,10 @@
+// This file lacks the errors import, so its fix must insert one.
+package a
+
+import "fmt"
+
+// Absent reports whether err is not the sentinel.
+func Absent(err error) bool {
+	fmt.Println("checking")
+	return err != ErrGone
+}

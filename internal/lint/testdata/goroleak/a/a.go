@@ -1,0 +1,65 @@
+// Package a is goroleak golden testdata: two untied spawns, every
+// recognized tie shape, and one suppressed fire-and-forget.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a bare goroutine with no lifetime anchor.
+func Leak() {
+	go func() { _ = 1 }() // want "not tied to any lifetime"
+}
+
+func work() {}
+
+// LeakNamed spawns a named function with no anchor either.
+func LeakNamed() {
+	go work() // want "not tied to any lifetime"
+}
+
+// TiedWaitGroup pairs Add before the spawn with Done inside it.
+func TiedWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// TiedNamedWaitGroup ties a named-function spawn through the Add in
+// the spawning function; the callee owns the Done.
+func TiedNamedWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go work()
+	wg.Wait()
+}
+
+// TiedContext hands the goroutine a cancellation scope.
+func TiedContext(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) { <-ctx.Done() }
+
+// TiedDone watches a stop channel.
+func TiedDone(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// TiedRange drains a done channel by ranging over it.
+func TiedRange(done chan struct{}) {
+	go func() {
+		for range done {
+		}
+	}()
+}
+
+// Allowed documents a deliberate fire-and-forget spawn.
+func Allowed() {
+	go func() { _ = 2 }() //lint:allow goroleak golden testdata documents a deliberate fire-and-forget spawn
+}

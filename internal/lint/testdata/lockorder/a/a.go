@@ -1,0 +1,42 @@
+// Package a is lockorder golden testdata: it exports a lock class and
+// a helper that acquires it, so the dependent package b witnesses
+// cross-package edges purely through imported facts.
+package a
+
+import "sync"
+
+// A carries the exported lock class a.A.Mu.
+type A struct{ Mu sync.Mutex }
+
+// Shared is the instance package b locks through LockShared.
+var Shared = &A{}
+
+// LockShared acquires and releases the shared lock; a caller holding
+// its own lock contributes a cross-package edge through this helper.
+func LockShared() {
+	Shared.Mu.Lock()
+	Shared.Mu.Unlock()
+}
+
+// Pair holds two locks always taken in the same order — the negative
+// case: first→second edges from two functions form no cycle.
+type Pair struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+// Both nests the locks in the blessed order.
+func (p *Pair) Both() {
+	p.first.Lock()
+	p.second.Lock()
+	p.second.Unlock()
+	p.first.Unlock()
+}
+
+// BothDeferred nests them in the same order through defer.
+func (p *Pair) BothDeferred() {
+	p.first.Lock()
+	defer p.first.Unlock()
+	p.second.Lock()
+	p.second.Unlock()
+}

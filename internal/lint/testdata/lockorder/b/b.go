@@ -1,0 +1,52 @@
+// Package b imports a and closes a cross-package lock cycle: Cross
+// acquires b.B.mu → a.A.Mu (through the imported helper's fact), Back
+// acquires the same two classes in the opposite order directly.
+package b
+
+import (
+	"sync"
+
+	"ofc/lofake/a"
+)
+
+// B carries the lock class b.B.mu.
+type B struct{ mu sync.Mutex }
+
+// Cross calls into a while holding mu: the edge b.B.mu → a.A.Mu
+// travels through the imported fact for a.LockShared.
+func (b *B) Cross() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.LockShared()
+}
+
+// Back closes the cycle; the finding anchors at the second
+// acquisition of the lexicographically smallest class's out-edge.
+func (b *B) Back() {
+	a.Shared.Mu.Lock()
+	b.mu.Lock() // want "lock-order cycle"
+	b.mu.Unlock()
+	a.Shared.Mu.Unlock()
+}
+
+// R re-acquires its own lock class — the self-deadlock case.
+type R struct{ mu sync.Mutex }
+
+// Again double-locks.
+func (r *R) Again() {
+	r.mu.Lock()
+	r.mu.Lock() // want "re-acquired while already held"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// S re-acquires too, but documents why — the suppressed case.
+type S struct{ mu sync.Mutex }
+
+// Checked double-locks under a suppression directive.
+func (s *S) Checked() {
+	s.mu.Lock()
+	s.mu.Lock() //lint:allow lockorder golden testdata exercises suppression of a program-pass finding
+	s.mu.Unlock()
+	s.mu.Unlock()
+}

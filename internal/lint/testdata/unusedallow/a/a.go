@@ -1,0 +1,27 @@
+// Package a is unusedallow golden testdata: one used directive, one
+// stale one, one stale-but-kept via meta-suppression, and one orphan
+// meta-directive that keeps nothing.
+package a
+
+import "time"
+
+// Boundary timestamps a log line; the wallclock directive below is
+// used and must not be flagged.
+func Boundary() time.Time {
+	return time.Now() //lint:allow wallclock golden testdata needs a used directive
+}
+
+// Version is guarded by a directive nothing on the line can trigger.
+var Version = 3 //lint:allow seededrand nothing here is random // want "stale //lint:allow seededrand"
+
+// Build keeps its stale directive through the meta-suppression on the
+// line above it.
+//
+//lint:allow unusedallow golden testdata keeps this one deliberately
+var Build = 4 //lint:allow mapiter nothing here iterates a map
+
+// Extra sits under an orphan meta-directive suppressing no stale
+// directive; the hygiene check flags the meta-directive itself.
+//
+//lint:allow unusedallow nothing below is stale // want "stale //lint:allow unusedallow"
+var Extra = 5
