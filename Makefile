@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint lint-fix bench bench-store bench-sim bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
+.PHONY: all check build test race test-race vet lint lint-fix bench bench-store bench-sim bench-ml bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
 
 all: check
 
@@ -56,6 +56,12 @@ bench-store:
 BENCHTIME ?= 1x
 bench-sim:
 	$(GO) test -bench 'Sleep|After|Batch|Future|Queue|Cluster|ReadMulti|Transfer' -benchmem -benchtime $(BENCHTIME) -run '^$$' ./internal/sim/ ./internal/simnet/ ./internal/kvstore/
+
+# Invocation critical-path evidence: pointer-walk vs compiled tree
+# inference, forest voting, and the end-to-end memoized Advise lookup
+# (CI smoke: -benchtime=10x; drop it for real numbers).
+bench-ml:
+	$(GO) test -run '^$$' -bench 'Classify|Advise' -benchmem -benchtime 10x ./internal/mltree ./internal/core
 
 # Regenerate the committed perf snapshot (quick sweep + micro benches).
 bench-baseline:

@@ -18,6 +18,7 @@ import (
 // BenchmarkFigure2_MemoryScatter regenerates the motivation scatter of
 // memory vs input size / sigma.
 func BenchmarkFigure2_MemoryScatter(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tab := experiments.Figure2(500, 1)
 		if len(tab.Rows) != 500 {
@@ -29,6 +30,7 @@ func BenchmarkFigure2_MemoryScatter(b *testing.B) {
 // BenchmarkFigure3_RSDSLatency regenerates the ETL split against
 // S3-like and Redis-like backends.
 func BenchmarkFigure3_RSDSLatency(b *testing.B) {
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		_, rows := experiments.Figure3(1)
@@ -44,6 +46,7 @@ func BenchmarkFigure3_RSDSLatency(b *testing.B) {
 // BenchmarkTable1_MLAccuracy regenerates the algorithm × interval-size
 // accuracy sweep.
 func BenchmarkTable1_MLAccuracy(b *testing.B) {
+	b.ReportAllocs()
 	cfg := experiments.DefaultTable1Config()
 	for i := 0; i < b.N; i++ {
 		tab := experiments.Table1(cfg)
@@ -56,6 +59,7 @@ func BenchmarkTable1_MLAccuracy(b *testing.B) {
 // BenchmarkTable1_CacheBenefit regenerates the §7.1.1 benefit
 // classifier scores.
 func BenchmarkTable1_CacheBenefit(b *testing.B) {
+	b.ReportAllocs()
 	var f1 float64
 	for i := 0; i < b.N; i++ {
 		_, res := experiments.CacheBenefit(400, 1)
@@ -67,6 +71,7 @@ func BenchmarkTable1_CacheBenefit(b *testing.B) {
 // BenchmarkFigure5_ErrorDistribution regenerates the prediction-error
 // histogram.
 func BenchmarkFigure5_ErrorDistribution(b *testing.B) {
+	b.ReportAllocs()
 	var within3, waste float64
 	for i := 0; i < b.N; i++ {
 		_, res := experiments.Figure5(450, 1)
@@ -79,6 +84,7 @@ func BenchmarkFigure5_ErrorDistribution(b *testing.B) {
 // BenchmarkFigure6_PredictionSpeed measures classifier latency (host
 // time — this figure is a real algorithm measurement).
 func BenchmarkFigure6_PredictionSpeed(b *testing.B) {
+	b.ReportAllocs()
 	var j48, forest time.Duration
 	for i := 0; i < b.N; i++ {
 		_, res := experiments.Figure6(450, 1)
@@ -92,6 +98,7 @@ func BenchmarkFigure6_PredictionSpeed(b *testing.B) {
 // BenchmarkMaturation regenerates the §7.1.3 maturation-quickness
 // distribution.
 func BenchmarkMaturation(b *testing.B) {
+	b.ReportAllocs()
 	var median, p95 int
 	for i := 0; i < b.N; i++ {
 		_, res := experiments.Maturation(1)
@@ -104,6 +111,7 @@ func BenchmarkMaturation(b *testing.B) {
 // BenchmarkFigure7_CacheBenefits regenerates the full Figure 7 sweep
 // (6 single-stage functions + 4 pipelines × input sizes × 5 systems).
 func BenchmarkFigure7_CacheBenefits(b *testing.B) {
+	b.ReportAllocs()
 	var bestSingle, bestPipe float64
 	for i := 0; i < b.N; i++ {
 		_, rows := experiments.Figure7(false, 1)
@@ -139,6 +147,7 @@ func BenchmarkFigure7_CacheBenefits(b *testing.B) {
 // BenchmarkFigure8_ScalingImpact regenerates the cache down-scaling
 // impact scenarios.
 func BenchmarkFigure8_ScalingImpact(b *testing.B) {
+	b.ReportAllocs()
 	var sc1 time.Duration
 	for i := 0; i < b.N; i++ {
 		_, rows := experiments.Figure8(1)
@@ -154,6 +163,7 @@ func BenchmarkFigure8_ScalingImpact(b *testing.B) {
 // BenchmarkMigrationSeries regenerates the §7.2.1 migration-time
 // series.
 func BenchmarkMigrationSeries(b *testing.B) {
+	b.ReportAllocs()
 	var gb time.Duration
 	for i := 0; i < b.N; i++ {
 		_, series := experiments.MigrationSeries(1)
@@ -165,6 +175,7 @@ func BenchmarkMigrationSeries(b *testing.B) {
 // BenchmarkFigure9_Macro regenerates the 8-tenant macro experiment
 // across the three tenant profiles (OWK-Swift vs OFC, 30 minutes).
 func BenchmarkFigure9_Macro(b *testing.B) {
+	b.ReportAllocs()
 	var avgImp float64
 	for i := 0; i < b.N; i++ {
 		_, runs := experiments.Figure9(30*time.Minute, 1)
@@ -189,6 +200,7 @@ func BenchmarkFigure9_Macro(b *testing.B) {
 // BenchmarkFigure10_CacheSize regenerates the cache-size-over-time
 // series of the macro runs.
 func BenchmarkFigure10_CacheSize(b *testing.B) {
+	b.ReportAllocs()
 	var peak float64
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultMacroConfig()
@@ -205,6 +217,7 @@ func BenchmarkFigure10_CacheSize(b *testing.B) {
 // BenchmarkTable2_InternalMetrics regenerates the OFC internal-metrics
 // table from a macro run.
 func BenchmarkTable2_InternalMetrics(b *testing.B) {
+	b.ReportAllocs()
 	var hit float64
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultMacroConfig()
@@ -216,6 +229,7 @@ func BenchmarkTable2_InternalMetrics(b *testing.B) {
 
 // BenchmarkMacro24Tenants regenerates the 24-tenant contention run.
 func BenchmarkMacro24Tenants(b *testing.B) {
+	b.ReportAllocs()
 	var hit float64
 	var failures int64
 	for i := 0; i < b.N; i++ {
@@ -232,6 +246,7 @@ func BenchmarkMacro24Tenants(b *testing.B) {
 // BenchmarkAblationWriteback compares shadow write-back against
 // synchronous RSDS writes.
 func BenchmarkAblationWriteback(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationWriteback(1); len(tab.Rows) == 0 {
 			b.Fatal("empty")
@@ -241,6 +256,7 @@ func BenchmarkAblationWriteback(b *testing.B) {
 
 // BenchmarkAblationMigration compares promotion against full transfer.
 func BenchmarkAblationMigration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationMigration(1); len(tab.Rows) == 0 {
 			b.Fatal("empty")
@@ -250,6 +266,7 @@ func BenchmarkAblationMigration(b *testing.B) {
 
 // BenchmarkAblationRouting compares locality routing against hashing.
 func BenchmarkAblationRouting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationRouting(1); len(tab.Rows) == 0 {
 			b.Fatal("empty")
@@ -260,6 +277,7 @@ func BenchmarkAblationRouting(b *testing.B) {
 // BenchmarkAblationIntervalBump compares the conservative bump against
 // raw predictions.
 func BenchmarkAblationIntervalBump(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationIntervalBump(1); len(tab.Rows) == 0 {
 			b.Fatal("empty")
@@ -269,6 +287,7 @@ func BenchmarkAblationIntervalBump(b *testing.B) {
 
 // BenchmarkExtensionResilience exercises worker fail-stop recovery.
 func BenchmarkExtensionResilience(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, healthy := experiments.Resilience(1); !healthy {
 			b.Fatal("recovery run unhealthy")
@@ -279,6 +298,7 @@ func BenchmarkExtensionResilience(b *testing.B) {
 // BenchmarkExtensionChunking measures the large-object striping
 // extension against the synchronous baseline.
 func BenchmarkExtensionChunking(b *testing.B) {
+	b.ReportAllocs()
 	var saving float64
 	for i := 0; i < b.N; i++ {
 		_, out := experiments.ChunkingExtension(1)
@@ -289,6 +309,7 @@ func BenchmarkExtensionChunking(b *testing.B) {
 
 // BenchmarkAblationKeepAlive sweeps the sandbox keep-alive window.
 func BenchmarkAblationKeepAlive(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationKeepAlive(1); len(tab.Rows) != 3 {
 			b.Fatal("incomplete")
@@ -298,6 +319,7 @@ func BenchmarkAblationKeepAlive(b *testing.B) {
 
 // BenchmarkAblationConsistency compares strong vs relaxed write paths.
 func BenchmarkAblationConsistency(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if tab := experiments.AblationConsistency(1); len(tab.Rows) != 2 {
 			b.Fatal("incomplete")

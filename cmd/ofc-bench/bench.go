@@ -2,12 +2,16 @@ package main
 
 import (
 	"encoding/json"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
+	"ofc/internal/core"
 	"ofc/internal/experiments"
+	"ofc/internal/faas"
+	"ofc/internal/kvstore"
 	"ofc/internal/sim"
 )
 
@@ -176,5 +180,125 @@ func microBenchmarks() []BenchEntry {
 		e.Run()
 	})
 
+	// Invocation critical-path benchmarks: the advice lookup the
+	// controller runs before placement and the proxy's warm/cold read
+	// paths (§5.1's latency budget).
+	add("AdviseHot", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		pred := core.NewPredictor(core.DefaultPredictorConfig())
+		trainer := core.NewModelTrainer(pred, sim.NewEnv(1))
+		fn := &faas.Function{Name: "blur", Tenant: "t", InputType: "image",
+			ArgNames: []string{"sigma"}, MemoryBooked: 2 << 30}
+		trainer.Pretrain(fn, benchSamples(pred.Schema(fn), 2000, 7))
+		req := &faas.Request{Function: fn, Args: map[string]float64{"sigma": 3},
+			InputFeatures: map[string]float64{"size": 64 * 1024, "width": 800, "height": 600, "channels": 3}}
+		pred.Advise(req) // memoize
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pred.Advise(req)
+		}
+	})
+
+	add("GetHit", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		sys := benchSystem(1)
+		w := sys.WorkerNodes[0]
+		sys.Env.Go(func() {
+			sys.KV.SetMemoryLimit(w, 1<<30)
+			if _, err := sys.Backend.Write(w, "img/hot", kvstore.Synthetic(4<<10), nil, w); err != nil {
+				b.Errorf("seed write: %v", err)
+				return
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.RC.Get(w, "img/hot", faas.PutOpts{}); err != nil {
+					b.Errorf("get: %v", err)
+					return
+				}
+			}
+		})
+		sys.Env.Run()
+	})
+
+	add("GetMissCoalesced", nil, func(b *testing.B) {
+		b.ReportAllocs()
+		sys := benchSystem(1)
+		sys.RC.EnableMissCoalescing()
+		w := sys.WorkerNodes[0]
+		const fan = 4
+		sys.Env.Go(func() {
+			sys.RSDS.Put(sys.CtrlNode, "img/cold", kvstore.Synthetic(64<<10), nil, false)
+			b.ResetTimer()
+			// One op = a fan of concurrent misses sharing one RSDS fetch
+			// (uncacheable, so every round misses again).
+			for i := 0; i < b.N; i++ {
+				wg := sim.NewWaitGroup(sys.Env)
+				for j := 0; j < fan; j++ {
+					wg.Add(1)
+					sys.Env.Go(func() {
+						defer wg.Done()
+						if _, err := sys.RC.Get(w, "img/cold", faas.PutOpts{}); err != nil {
+							b.Errorf("get: %v", err)
+						}
+					})
+				}
+				wg.Wait()
+			}
+		})
+		sys.Env.Run()
+	})
+
+	return out
+}
+
+// benchSystem builds a small quiet system for proxy-path benchmarks:
+// no cache agents, grants driven manually.
+func benchSystem(seed int64) *core.System {
+	opts := core.DefaultOptions()
+	opts.Seed = seed
+	opts.Workers = 3
+	opts.NodeCapacity = 4 << 30
+	opts.DisableCacheAgents = true
+	return core.NewSystem(opts)
+}
+
+// benchSamples synthesizes a training set for the predictor benchmarks
+// (the internal/core test generator, reproduced for the snapshot tool).
+func benchSamples(schema *core.FeatureSchema, n int, seed int64) []core.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	type input struct{ size, width float64 }
+	pool := make([]input, 16)
+	for i := range pool {
+		pool[i] = input{
+			size:  float64(1+rng.Intn(128)) * 1024,
+			width: float64(100 + rng.Intn(19)*100),
+		}
+	}
+	out := make([]core.Sample, 0, n)
+	for i := 0; i < n; i++ {
+		in := pool[rng.Intn(len(pool))]
+		sigma := float64(1+rng.Intn(8)) * 0.5
+		mem := int64(64<<20) + int64(in.size/1024)*(1<<20) + int64(20*sigma)*(1<<20)
+		vals := make([]float64, len(schema.Names()))
+		for j, name := range schema.Names() {
+			switch name {
+			case "size":
+				vals[j] = in.size
+			case "width":
+				vals[j] = in.width
+			case "height":
+				vals[j] = in.width * 0.75
+			case "channels":
+				vals[j] = 3
+			case "sigma":
+				vals[j] = sigma
+			}
+		}
+		out = append(out, core.Sample{
+			Vals: vals, PeakMem: mem,
+			Extract: 40 * time.Millisecond, Transform: 20 * time.Millisecond, Load: 115 * time.Millisecond,
+			BenefitKnown: true,
+		})
+	}
 	return out
 }

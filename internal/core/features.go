@@ -61,7 +61,17 @@ func (s *FeatureSchema) Names() []string { return s.names }
 // sidecar features first (extracted at object creation, §5.1.2), then
 // the request arguments. Unknown features are Missing.
 func (s *FeatureSchema) Vector(req *faas.Request) []float64 {
-	vals := make([]float64, len(s.names))
+	return s.VectorInto(req, make([]float64, len(s.names)))
+}
+
+// VectorInto assembles the feature vector into buf, growing it only if
+// too small — the critical-path form: with an adequately sized buffer
+// it allocates nothing.
+func (s *FeatureSchema) VectorInto(req *faas.Request, buf []float64) []float64 {
+	if cap(buf) < len(s.names) {
+		buf = make([]float64, len(s.names))
+	}
+	vals := buf[:len(s.names)]
 	for i, name := range s.names {
 		if v, ok := req.InputFeatures[name]; ok {
 			vals[i] = v

@@ -36,6 +36,10 @@ type Options struct {
 	// storage backend rather than scattered if-branches. No cache
 	// servers, no agents, no locality routing.
 	CacheOff bool
+	// CoalesceMisses turns on the proxy's singleflight miss path (see
+	// RCLib.EnableMissCoalescing). Off by default: the faithful-paper
+	// configuration lets every miss pay its own RSDS round trip.
+	CoalesceMisses bool
 }
 
 // DefaultOptions mirrors the paper's testbed shape.
@@ -120,6 +124,9 @@ func NewSystem(opts Options) *System {
 	sys.Pred = NewPredictor(opts.Predictor)
 	sys.Trainer = NewModelTrainer(sys.Pred, env)
 	sys.RC = NewRCLib(env, backend, rsds)
+	if opts.CoalesceMisses {
+		sys.RC.EnableMissCoalescing()
+	}
 	sys.Gov = NewGovernor()
 
 	mv, hasMem := store.MemoryViewOf(backend)

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"encoding/binary"
+	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"ofc/internal/faas"
+	"ofc/internal/metrics"
 	"ofc/internal/mltree"
 	"ofc/internal/sim"
 )
@@ -43,6 +46,17 @@ type modelState struct {
 	// Trained models (nil until first train).
 	memModel     mltree.Classifier
 	benefitModel mltree.Classifier
+	// Serving state, rebuilt on every retrain: the compiled (flat,
+	// zero-allocation) forms of the models, the advice memo keyed by
+	// the exact feature-vector bits, and the retrain generation that
+	// scopes the memo's validity.
+	gen             int
+	memCompiled     *mltree.CompiledTree
+	benefitCompiled *mltree.CompiledTree
+	advCache        map[string]faas.Advice
+	vecBuf          []float64
+	keyBuf          []byte
+	distBuf         []float64
 	// Maturation state (§5.3).
 	mature       bool
 	maturedAt    int // invocation count at maturation
@@ -73,6 +87,12 @@ type PredictorConfig struct {
 	UnderWeight float64
 	// Seed feeds the CV shuffles.
 	Seed int64
+	// DisableMemo turns off advice memoization (the compiled models
+	// still serve). Memoization is semantically transparent — cached
+	// advice is evicted whenever a retrain changes the models — so this
+	// exists for A/B testing and for callers that mutate feature
+	// distributions faster than the memo pays off.
+	DisableMemo bool
 }
 
 // DefaultPredictorConfig returns the paper's parameters.
@@ -94,6 +114,10 @@ func DefaultPredictorConfig() PredictorConfig {
 // model states the ModelTrainer updates.
 type Predictor struct {
 	cfg PredictorConfig
+
+	// memo aggregates advice-cache hit/miss/invalidation counts across
+	// all functions (lock-free; reporting reads a coherent snapshot).
+	memo metrics.MemoCounters
 
 	mu     sync.Mutex
 	models map[string]*modelState
@@ -122,9 +146,33 @@ func (p *Predictor) state(fn *faas.Function) *modelState {
 	return st
 }
 
+// advCacheMax bounds the per-function advice memo. Real workloads
+// cluster on few distinct feature vectors (that is why the memo pays);
+// a pathological stream of unique vectors just resets the map and
+// keeps serving from the compiled models.
+const advCacheMax = 4096
+
+// appendVecKey encodes the exact bit pattern of every feature into
+// dst — the memo key. Identity encoding (no rounding) guarantees a
+// memo hit returns bit-identical advice to recomputation; Missing is
+// one fixed NaN pattern, so it keys consistently too.
+func appendVecKey(dst []byte, vals []float64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
 // Advise implements faas.Advisor: predict the sandbox memory (upper
 // bound of the *next greater* interval, §5.3's conservative bump) and
 // the caching benefit. Advice is unusable until the model matures.
+//
+// This is the invocation critical path (§5.1 budgets ~1 ms), so it
+// serves from the compiled (flat, zero-allocation) model forms and
+// memoizes the full advice per exact feature vector; the memo is
+// flushed whenever a retrain bumps the model generation, making it
+// semantically invisible. A hit costs a vector build, a key append and
+// one map probe — no tree walk, no allocation.
 func (p *Predictor) Advise(req *faas.Request) faas.Advice {
 	st := p.state(req.Function)
 	st.mu.Lock()
@@ -132,21 +180,76 @@ func (p *Predictor) Advise(req *faas.Request) faas.Advice {
 	if !st.mature || st.memModel == nil {
 		return faas.Advice{Use: false, ShouldCache: false}
 	}
-	vals := st.schema.Vector(req)
-	k := st.memModel.Classify(vals)
-	mem := p.cfg.Intervals.UpperBound(k + 1) // conservative next interval
+	vals := st.schema.VectorInto(req, st.vecBuf)
+	st.vecBuf = vals
+
+	memo := !p.cfg.DisableMemo
+	if memo {
+		st.keyBuf = appendVecKey(st.keyBuf[:0], vals)
+		if adv, ok := st.advCache[string(st.keyBuf)]; ok {
+			p.memo.Hit()
+			return adv
+		}
+		p.memo.Miss()
+	}
+
+	adv := st.adviseLocked(p.cfg.Intervals, vals)
+	if memo {
+		if st.advCache == nil || len(st.advCache) >= advCacheMax {
+			st.advCache = make(map[string]faas.Advice)
+		}
+		st.advCache[string(st.keyBuf)] = adv
+	}
+	return adv
+}
+
+// adviseLocked computes advice from the compiled models (falling back
+// to the pointer walk only if compilation is unavailable). Callers
+// hold st.mu.
+func (st *modelState) adviseLocked(iv Intervals, vals []float64) faas.Advice {
+	var k int
+	if st.memCompiled != nil {
+		k = st.memCompiled.Classify(vals)
+	} else {
+		k = st.memModel.Classify(vals)
+	}
+	mem := iv.UpperBound(k + 1) // conservative next interval
 	should := true
 	benefit := 1.0
-	if st.benefitModel != nil {
-		should = st.benefitModel.Classify(vals) == 1
+	switch {
+	case st.benefitCompiled != nil:
+		should = st.benefitCompiled.Classify(vals) == 1
 		// The benefit score is the model's probability mass on the
 		// "yes" class — the cost term cost-aware eviction policies
 		// weigh per object.
+		if st.benefitCompiled.NumClasses() > 1 {
+			if cap(st.distBuf) < st.benefitCompiled.NumClasses() {
+				st.distBuf = make([]float64, st.benefitCompiled.NumClasses())
+			}
+			benefit = st.benefitCompiled.DistributionInto(vals, st.distBuf)[1]
+		}
+	case st.benefitModel != nil:
+		should = st.benefitModel.Classify(vals) == 1
 		if dist := st.benefitModel.Distribution(vals); len(dist) > 1 {
 			benefit = dist[1]
 		}
 	}
 	return faas.Advice{Mem: mem, ShouldCache: should, Benefit: benefit, Use: true}
+}
+
+// MemoStats returns the aggregate advice-memo hit/miss/invalidation
+// counts.
+func (p *Predictor) MemoStats() (hits, misses, invalidations int64) {
+	return p.memo.Snapshot()
+}
+
+// Generation returns fn's retrain generation (bumped whenever either
+// model is refit; the advice memo is scoped to it).
+func (p *Predictor) Generation(fn *faas.Function) int {
+	st := p.state(fn)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.gen
 }
 
 // Mature reports whether fn's memory model passed the §5.3 criteria.
@@ -259,16 +362,41 @@ func (t *ModelTrainer) Observe(fn *faas.Function, req *faas.Request, s Sample) {
 	}
 }
 
-// trainLocked retrains both models from the current datasets.
+// trainLocked retrains both models from the current datasets. Any
+// refit bumps the serving generation: the compiled forms are rebuilt
+// and the advice memo is flushed, so stale advice can never outlive
+// the model that produced it.
 func (t *ModelTrainer) trainLocked(st *modelState) {
+	changed := false
 	if st.memData.Len() >= 10 {
 		st.memModel = mltree.NewJ48().Fit(st.memData)
 		st.sinceTrain = 0
+		changed = true
 	}
 	if st.benefitData.Len() >= 10 {
 		st.benefitModel = mltree.NewJ48().Fit(st.benefitData)
 		st.benefitSince = 0
+		changed = true
 	}
+	if changed {
+		st.gen++
+		st.memCompiled = compileTree(st.memModel)
+		st.benefitCompiled = compileTree(st.benefitModel)
+		if len(st.advCache) > 0 {
+			st.advCache = nil
+			t.p.memo.Invalidation()
+		}
+	}
+}
+
+// compileTree flattens a trained classifier into its serving form when
+// it supports compilation (J48 and RandomTree do; anything else serves
+// through the Classifier interface).
+func compileTree(m mltree.Classifier) *mltree.CompiledTree {
+	if tr, ok := m.(*mltree.Tree); ok {
+		return tr.Compile()
+	}
+	return nil
 }
 
 // matureCheckLocked evaluates the §5.3 criteria by cross-validation

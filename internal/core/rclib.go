@@ -2,9 +2,11 @@ package core
 
 import (
 	"errors"
+	"hash/fnv"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofc/internal/faas"
@@ -49,54 +51,115 @@ type RCLib struct {
 	persistFn *faas.Function
 
 	mu sync.Mutex
-	// pending maps keys to futures resolved when their latest payload
-	// has been persisted (external-read webhook barrier).
-	pending map[string]*sim.Future[struct{}]
-	// pipelines tracks intermediate object keys per pipeline instance.
+	// pipelines tracks intermediate object keys per pipeline instance
+	// (control-plane state: only touched at intermediate Put and
+	// pipeline completion).
 	pipelines map[string][]string
+
+	// pending maps keys to futures resolved when their latest payload
+	// has been persisted (external-read webhook barrier). Hash-sharded
+	// (the kvstore coordinator pattern): the write-back protocol probes
+	// it on every miss and every persist, and a single map lock would
+	// serialize the whole data plane.
+	pending [rclibShards]pendingShard
+
 	// gate, when set, is the memory control plane's write-admission
 	// veto: missed inputs are only admitted into the cache when the
 	// owning node's eviction policy agrees, and cache hits are
-	// reported back so frequency-keeping policies see accesses.
-	gate AdmissionGate
+	// reported back so frequency-keeping policies see accesses. Read
+	// on every Get, so it lives behind an atomic pointer, not rc.mu.
+	gate atomic.Pointer[gateHolder]
 	// relaxed holds key prefixes (buckets/accounts) whose tenants
 	// disabled the §6.2 strong-consistency facilities: no shadow
 	// objects, no eager persistors; writes propagate lazily on
 	// eviction, persistence rides on the cache's replication.
-	relaxed []string
+	// Copy-on-write: SetRelaxed is rare, isRelaxed runs per final Put.
+	relaxed atomic.Pointer[[]string]
 	// brownout is the overload controller's degradation switch: miss
 	// admissions stop and non-intermediate writes take the synchronous
 	// durable RSDS path (per-request Passthrough/CacheOff), so the
 	// cache keeps only its existing hot set and the write path stops
 	// depending on cache capacity.
-	brownout bool
+	brownout atomic.Bool
+
+	// coalesce enables miss coalescing (EnableMissCoalescing): N
+	// concurrent misses of one key on one node issue a single RSDS
+	// fetch and at most one admission. Off by default — coalescing
+	// changes simulated fetch timing, and the faithful-paper
+	// configuration (like chunking) is the uncoalesced one.
+	coalesce bool
+	flights  [rclibShards]flightShard
 
 	// res holds the resilience constants (the Resilient middleware has
 	// its own copy; the proxy keeps one for PersistRetryDelay).
 	res store.ResilienceConfig
 
-	statsMu   sync.Mutex
-	hits      int64
-	localHits int64
-	misses    int64
+	// Data-plane counters. Single atomics, not a mutex block: every
+	// Get/Put increments a couple of them, and the old statsMu made
+	// those increments the one place the whole cache path serialized.
+	hits      atomic.Int64
+	localHits atomic.Int64
+	misses    atomic.Int64
 	// Ephemeral (pipeline-intermediate) accesses tracked separately:
 	// intra-pipeline hits are structural and would mask the input
 	// hit ratio the paper's Table 2 reports.
-	ephemHits    int64
-	ephemMisses  int64
-	admissions   int64
-	admitVetoes  int64
-	writeBacks   int64
-	bypassWrites int64
-	ephemeral    int64 // bytes of intermediate+final outputs produced
+	ephemHits     atomic.Int64
+	ephemMisses   atomic.Int64
+	admissions    atomic.Int64
+	admitVetoes   atomic.Int64
+	writeBacks    atomic.Int64
+	bypassWrites  atomic.Int64
+	ephemeral     atomic.Int64 // bytes of intermediate+final outputs produced
+	missCoalesced atomic.Int64 // followers served by another caller's in-flight fetch
 	// degradation counters (retries/timeouts/trips live in the
 	// Resilient middleware)
-	fallbackReads  int64
-	fallbackWrites int64
+	fallbackReads  atomic.Int64
+	fallbackWrites atomic.Int64
 	// brownout counters: admissions skipped and writes diverted to the
 	// durable path while degraded.
-	brownoutSkips    int64
-	brownoutBypasses int64
+	brownoutSkips    atomic.Int64
+	brownoutBypasses atomic.Int64
+}
+
+// rclibShards is the hash-partition count of the proxy's pending and
+// in-flight maps (the kvstore coordinator default).
+const rclibShards = 16
+
+// gateHolder wraps the AdmissionGate interface so it can live in an
+// atomic.Pointer.
+type gateHolder struct{ g AdmissionGate }
+
+// pendingShard is one hash partition of the pending write-back map.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[string]*sim.Future[struct{}]
+}
+
+// getResult is what a coalesced miss hands its followers.
+type getResult struct {
+	blob faas.Blob
+	err  error
+}
+
+// flightKey identifies one in-flight miss fetch: coalescing is per
+// (node, key) — each node still fetches its own copy, preserving the
+// locality the router works for.
+type flightKey struct {
+	node simnet.NodeID
+	key  string
+}
+
+// flightShard is one hash partition of the in-flight miss map.
+type flightShard struct {
+	mu sync.Mutex
+	m  map[flightKey]*sim.Future[getResult]
+}
+
+// shardIdx hashes key onto a shard index.
+func shardIdx(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % rclibShards)
 }
 
 // NewRCLib builds the proxy over a storage engine and the RSDS. Any
@@ -107,9 +170,14 @@ func NewRCLib(env *sim.Env, backend store.Backend, rsds *objstore.Store) *RCLib 
 		env:       env,
 		rsds:      rsds,
 		base:      backend,
-		pending:   make(map[string]*sim.Future[struct{}]),
 		pipelines: make(map[string][]string),
 		res:       store.DefaultResilienceConfig(),
+	}
+	for i := range rc.pending {
+		rc.pending[i].m = make(map[string]*sim.Future[struct{}])
+	}
+	for i := range rc.flights {
+		rc.flights[i].m = make(map[flightKey]*sim.Future[getResult])
 	}
 	rc.durable = store.IsDurable(backend)
 	rc.pv, _ = store.PlacementViewOf(backend)
@@ -130,10 +198,7 @@ func NewRCLib(env *sim.Env, backend store.Backend, rsds *objstore.Store) *RCLib 
 		if !m.IsShadow() {
 			return
 		}
-		rc.mu.Lock()
-		f := rc.pending[key]
-		rc.mu.Unlock()
-		if f != nil {
+		if f := rc.pendingFuture(key); f != nil {
 			f.Wait() // the persistor is already scheduled; block until done
 		}
 	})
@@ -157,6 +222,14 @@ func (rc *RCLib) StoreStats() store.OpStats { return rc.inst.Stats() }
 // future work; off by default to keep the faithful-paper
 // configuration).
 func (rc *RCLib) EnableChunking() { rc.chunked.Enable() }
+
+// EnableMissCoalescing turns on singleflight miss fetches: concurrent
+// Gets of one missing key on one node share a single RSDS fetch and at
+// most one cache admission. Like chunking it is off by default — the
+// shared fetch changes simulated timing, so the faithful-paper
+// configuration leaves every miss to pay its own RSDS round trip. Call
+// before traffic starts.
+func (rc *RCLib) EnableMissCoalescing() { rc.coalesce = true }
 
 // SetResilience replaces the proxy's resilience constants. Call before
 // traffic starts; existing breaker state is reset.
@@ -200,32 +273,23 @@ type AdmissionGate interface {
 // SetAdmissionGate installs the control plane's admission veto. Call
 // before traffic starts.
 func (rc *RCLib) SetAdmissionGate(g AdmissionGate) {
-	rc.mu.Lock()
-	rc.gate = g
-	rc.mu.Unlock()
+	rc.gate.Store(&gateHolder{g: g})
 }
 
-// admissionGate reads the gate under the lock.
+// admissionGate reads the gate (lock-free; it sits on every Get).
 func (rc *RCLib) admissionGate() AdmissionGate {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	return rc.gate
+	if h := rc.gate.Load(); h != nil {
+		return h.g
+	}
+	return nil
 }
 
 // SetBrownout switches the proxy's degradation mode (see the brownout
 // field).
-func (rc *RCLib) SetBrownout(on bool) {
-	rc.mu.Lock()
-	rc.brownout = on
-	rc.mu.Unlock()
-}
+func (rc *RCLib) SetBrownout(on bool) { rc.brownout.Store(on) }
 
 // inBrownout reads the degradation switch.
-func (rc *RCLib) inBrownout() bool {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	return rc.brownout
-}
+func (rc *RCLib) inBrownout() bool { return rc.brownout.Load() }
 
 // StoreLatencyP99 reports the p99 of recent backend op latencies (the
 // degradation controller's store-health signal).
@@ -245,17 +309,27 @@ func (rc *RCLib) persistRetryDelay() time.Duration {
 // it skip the synchronous shadow placeholder and the eager Persistor;
 // dirty data reaches the RSDS only when the cacheAgent evicts it.
 func (rc *RCLib) SetRelaxed(prefix string) {
-	rc.mu.Lock()
+	rc.mu.Lock() // serialize concurrent SetRelaxed calls
 	defer rc.mu.Unlock()
-	rc.relaxed = append(rc.relaxed, prefix)
+	var cur []string
+	if p := rc.relaxed.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[len(cur)] = prefix
+	rc.relaxed.Store(&next)
 }
 
-// isRelaxed reports whether key falls under a relaxed prefix.
+// isRelaxed reports whether key falls under a relaxed prefix
+// (lock-free read of the copy-on-write prefix list).
 func (rc *RCLib) isRelaxed(key string) bool {
-	rc.mu.Lock()
-	defer rc.mu.Unlock()
-	for _, p := range rc.relaxed {
-		if strings.HasPrefix(key, p) {
+	p := rc.relaxed.Load()
+	if p == nil {
+		return false
+	}
+	for _, prefix := range *p {
+		if strings.HasPrefix(key, prefix) {
 			return true
 		}
 	}
@@ -309,9 +383,7 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 		} else {
 			rc.be.SetTag(node, key, "dirty", "0")
 		}
-		rc.statsMu.Lock()
-		rc.writeBacks++
-		rc.statsMu.Unlock()
+		rc.writeBacks.Add(1)
 	}
 	// A stale persist means a newer version's persistor owns the key.
 	if perr == nil || errors.Is(perr, objstore.ErrStale) {
@@ -320,13 +392,68 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 	return nil
 }
 
+// pendingFuture reads key's pending write-back future, nil if none.
+func (rc *RCLib) pendingFuture(key string) *sim.Future[struct{}] {
+	sh := &rc.pending[shardIdx(key)]
+	sh.mu.Lock()
+	f := sh.m[key]
+	sh.mu.Unlock()
+	return f
+}
+
+// ensurePending installs a pending future for key if none exists.
+func (rc *RCLib) ensurePending(key string) {
+	sh := &rc.pending[shardIdx(key)]
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; !ok {
+		sh.m[key] = sim.NewFuture[struct{}](rc.env)
+	}
+	sh.mu.Unlock()
+}
+
 func (rc *RCLib) resolvePending(key string) {
-	rc.mu.Lock()
-	f := rc.pending[key]
-	delete(rc.pending, key)
-	rc.mu.Unlock()
+	sh := &rc.pending[shardIdx(key)]
+	sh.mu.Lock()
+	f := sh.m[key]
+	delete(sh.m, key)
+	sh.mu.Unlock()
 	if f != nil && !f.Done() {
 		f.Set(struct{}{})
+	}
+}
+
+// noteGetHit is the Get-hit bookkeeping: counter increments, locality
+// attribution and the control plane's access callback. Pure atomics
+// plus a placement lookup — no locks, no allocations (the critical
+// path pays it on every warm read).
+func (rc *RCLib) noteGetHit(caller simnet.NodeID, key string, intermediate bool) {
+	rc.hits.Add(1)
+	if intermediate {
+		rc.ephemHits.Add(1)
+	}
+	if rc.pv == nil {
+		return
+	}
+	master, ok := rc.pv.MasterOf(key)
+	if !ok {
+		return
+	}
+	if master == caller {
+		rc.localHits.Add(1)
+	}
+	if g := rc.admissionGate(); g != nil {
+		g.TouchObject(master, key)
+	}
+}
+
+// noteGetMiss is the Get-miss counter bookkeeping.
+func (rc *RCLib) noteGetMiss(key string, unavailable bool) {
+	rc.misses.Add(1)
+	if unavailable {
+		rc.fallbackReads.Add(1)
+	}
+	if rc.isEphemeralKey(key) {
+		rc.ephemMisses.Add(1)
 	}
 }
 
@@ -337,12 +464,7 @@ func (rc *RCLib) resolvePending(key string) {
 func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.Blob, error) {
 	if rc.durable {
 		blob, _, err := rc.be.Read(caller, key)
-		rc.statsMu.Lock()
-		rc.misses++
-		if rc.isEphemeralKey(key) {
-			rc.ephemMisses++
-		}
-		rc.statsMu.Unlock()
+		rc.noteGetMiss(key, false)
 		if err != nil {
 			return faas.Blob{}, err
 		}
@@ -350,63 +472,70 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 	}
 	blob, meta, err := rc.be.Read(caller, key)
 	if err == nil {
-		rc.statsMu.Lock()
-		rc.hits++
-		if meta.Tags["kind"] == "intermediate" {
-			rc.ephemHits++
-		}
-		var master simnet.NodeID
-		haveMaster := false
-		if rc.pv != nil {
-			if m, ok := rc.pv.MasterOf(key); ok {
-				master, haveMaster = m, true
-				if m == caller {
-					rc.localHits++
-				}
-			}
-		}
-		rc.statsMu.Unlock()
-		if haveMaster {
-			if g := rc.admissionGate(); g != nil {
-				g.TouchObject(master, key)
-			}
-		}
+		rc.noteGetHit(caller, key, meta.Tags["kind"] == "intermediate")
 		return blob, nil
 	}
 	unavailable := store.IsUnavailable(err)
-	rc.statsMu.Lock()
-	rc.misses++
-	if unavailable {
-		rc.fallbackReads++
+	rc.noteGetMiss(key, unavailable)
+	if rc.coalesce {
+		return rc.getCoalesced(caller, key, opts, unavailable)
 	}
-	if rc.isEphemeralKey(key) {
-		rc.ephemMisses++
+	res := rc.fetchMiss(caller, key, opts, unavailable)
+	return res.blob, res.err
+}
+
+// getCoalesced is the singleflight miss path: the first miss of a
+// (node, key) becomes the leader and performs the fetch + admission;
+// concurrent misses of the same pair wait on the leader's future and
+// share its result, issuing no RSDS traffic of their own. Every caller
+// still counts its own miss — coalescing changes the fetch fan-out,
+// not the hit ratio.
+func (rc *RCLib) getCoalesced(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool) (faas.Blob, error) {
+	fk := flightKey{node: caller, key: key}
+	sh := &rc.flights[shardIdx(key)]
+	sh.mu.Lock()
+	if f, ok := sh.m[fk]; ok {
+		sh.mu.Unlock()
+		rc.missCoalesced.Add(1)
+		res := f.Wait()
+		return res.blob, res.err
 	}
-	rc.statsMu.Unlock()
+	f := sim.NewFuture[getResult](rc.env)
+	sh.m[fk] = f
+	sh.mu.Unlock()
+
+	res := rc.fetchMiss(caller, key, opts, unavailable)
+
+	sh.mu.Lock()
+	delete(sh.m, fk)
+	sh.mu.Unlock()
+	f.Set(res)
+	return res.blob, res.err
+}
+
+// fetchMiss fetches key from the RSDS (waiting out a shadow
+// placeholder if one is pending) and admits cache-worthy inputs off
+// the critical path.
+func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool) getResult {
 	blob, m, rerr := rc.rsds.Get(caller, key, false)
 	if rerr == nil && m.IsShadow() {
 		// The authoritative payload is a not-yet-persisted cache write
 		// (we got here because the cache is unreachable). Wait for the
 		// pending write-back — the Persistor retries until the cache
 		// recovers — then re-read the now-persisted payload.
-		rc.mu.Lock()
-		f := rc.pending[key]
-		rc.mu.Unlock()
-		if f != nil {
+		if f := rc.pendingFuture(key); f != nil {
 			f.Wait()
 			blob, _, rerr = rc.rsds.Get(caller, key, false)
 		}
 	}
 	if rerr != nil {
-		return faas.Blob{}, rerr
+		return getResult{err: rerr}
 	}
 	if opts.ShouldCache && rc.inBrownout() {
 		// Brownout: no new admissions — the cache serves (and keeps)
 		// only what it already holds.
-		rc.statsMu.Lock()
-		rc.brownoutSkips++
-		rc.statsMu.Unlock()
-		return blob, nil
+		rc.brownoutSkips.Add(1)
+		return getResult{blob: blob}
 	}
 	if opts.ShouldCache && !unavailable && blob.Size <= rc.base.MaxObjectSize() {
 		// Admit off the critical path; a failed admission (no space)
@@ -416,21 +545,17 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 		// missed inputs are not striped. The control plane's eviction
 		// policy holds a veto (the paper's policy always admits).
 		if g := rc.admissionGate(); g != nil && !g.AdmitObject(caller, key, blob.Size, opts.Benefit) {
-			rc.statsMu.Lock()
-			rc.admitVetoes++
-			rc.statsMu.Unlock()
-			return blob, nil
+			rc.admitVetoes.Add(1)
+			return getResult{blob: blob}
 		}
 		rc.env.Go(func() {
 			_, werr := rc.be.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
 			if werr == nil {
-				rc.statsMu.Lock()
-				rc.admissions++
-				rc.statsMu.Unlock()
+				rc.admissions.Add(1)
 			}
 		})
 	}
-	return blob, nil
+	return getResult{blob: blob}
 }
 
 // Put implements faas.Storage (§6.2, §6.3):
@@ -445,18 +570,14 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 // ordinary cache paths and stripe transparently below. With a durable
 // engine every write is a synchronous write-through.
 func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts) error {
-	rc.statsMu.Lock()
 	if opts.Kind != faas.KindInput {
-		rc.ephemeral += blob.Size
+		rc.ephemeral.Add(blob.Size)
 	}
-	rc.statsMu.Unlock()
 	if rc.durable {
 		// Durable engine: the ack IS persistence. No shadow, no
 		// persistor, no dirty state.
 		_, err := rc.be.Write(caller, key, blob, nil, caller)
-		rc.statsMu.Lock()
-		rc.bypassWrites++
-		rc.statsMu.Unlock()
+		rc.bypassWrites.Add(1)
 		return err
 	}
 	maxObj := rc.be.MaxObjectSize()
@@ -467,10 +588,8 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	// RSDS would cost more than it frees.
 	if opts.Kind != faas.KindIntermediate && rc.inBrownout() {
 		rc.rsds.Put(caller, key, blob, nil, false)
-		rc.statsMu.Lock()
-		rc.bypassWrites++
-		rc.brownoutBypasses++
-		rc.statsMu.Unlock()
+		rc.bypassWrites.Add(1)
+		rc.brownoutBypasses.Add(1)
 		return nil
 	}
 	// Pipeline intermediates are cached regardless of the benefit
@@ -479,17 +598,13 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	if opts.Kind != faas.KindIntermediate &&
 		(!opts.ShouldCache || blob.Size > maxObj) {
 		rc.rsds.Put(caller, key, blob, nil, false)
-		rc.statsMu.Lock()
-		rc.bypassWrites++
-		rc.statsMu.Unlock()
+		rc.bypassWrites.Add(1)
 		return nil
 	}
 	if opts.Kind == faas.KindIntermediate {
 		if blob.Size > maxObj {
 			rc.rsds.Put(caller, key, blob, nil, false)
-			rc.statsMu.Lock()
-			rc.bypassWrites++
-			rc.statsMu.Unlock()
+			rc.bypassWrites.Add(1)
 			return nil
 		}
 		_, err := rc.be.Write(caller, key, blob, map[string]string{
@@ -541,21 +656,14 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 // the cause was unavailability (capacity misses are the ordinary
 // bypass path, not degradation).
 func (rc *RCLib) countWriteFallback(err error) {
-	if !store.IsUnavailable(err) {
-		return
+	if store.IsUnavailable(err) {
+		rc.fallbackWrites.Add(1)
 	}
-	rc.statsMu.Lock()
-	rc.fallbackWrites++
-	rc.statsMu.Unlock()
 }
 
 // schedulePersist injects a Persistor invocation for (key, version).
 func (rc *RCLib) schedulePersist(node simnet.NodeID, key string, version uint64) {
-	rc.mu.Lock()
-	if _, ok := rc.pending[key]; !ok {
-		rc.pending[key] = sim.NewFuture[struct{}](rc.env)
-	}
-	rc.mu.Unlock()
+	rc.ensurePending(key)
 	rc.env.Go(func() {
 		r := rc.platform.Invoke(&faas.Request{
 			Function:  rc.persistFn,
@@ -624,9 +732,7 @@ func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
 		}
 		return false
 	}
-	rc.statsMu.Lock()
-	rc.writeBacks++
-	rc.statsMu.Unlock()
+	rc.writeBacks.Add(1)
 	rc.resolvePending(key)
 	return true
 }
@@ -654,7 +760,10 @@ type CacheStats struct {
 	// policy refused (always zero under the paper's policy).
 	AdmitVetoes  int64
 	BypassWrites int64
-	EphemeralBytes          int64
+	// MissCoalesced counts misses served by another caller's in-flight
+	// fetch (zero unless EnableMissCoalescing).
+	MissCoalesced  int64
+	EphemeralBytes int64
 	// Degradation counters: RSDS fallbacks taken because the cache
 	// was unavailable, cache-op retries/timeouts, and circuit-breaker
 	// trips.
@@ -670,34 +779,36 @@ type CacheStats struct {
 	BrownoutBypasses int64
 }
 
-// Stats returns a snapshot of the proxy counters.
+// Stats returns a snapshot of the proxy counters. Each counter is a
+// single atomic load; in the simulator's serialized event loop (and at
+// any quiescent point in real time) the loads are mutually coherent —
+// there is no cross-counter invariant a torn read could violate, since
+// every increment site bumps at most one ratio-relevant counter per
+// event.
 func (rc *RCLib) Stats() CacheStats {
 	var rs store.ResilienceStats
 	if rc.resil != nil {
 		rs = rc.resil.Stats()
 	}
-	rc.statsMu.Lock()
-	defer rc.statsMu.Unlock()
 	return CacheStats{
-		Hits: rc.hits, LocalHits: rc.localHits, Misses: rc.misses,
-		EphemHits: rc.ephemHits, EphemMisses: rc.ephemMisses,
-		Admissions: rc.admissions, WriteBacks: rc.writeBacks,
-		AdmitVetoes:  rc.admitVetoes,
-		BypassWrites: rc.bypassWrites, EphemeralBytes: rc.ephemeral,
-		FallbackReads: rc.fallbackReads, FallbackWrites: rc.fallbackWrites,
+		Hits: rc.hits.Load(), LocalHits: rc.localHits.Load(), Misses: rc.misses.Load(),
+		EphemHits: rc.ephemHits.Load(), EphemMisses: rc.ephemMisses.Load(),
+		Admissions: rc.admissions.Load(), WriteBacks: rc.writeBacks.Load(),
+		AdmitVetoes:   rc.admitVetoes.Load(),
+		BypassWrites:  rc.bypassWrites.Load(),
+		MissCoalesced: rc.missCoalesced.Load(), EphemeralBytes: rc.ephemeral.Load(),
+		FallbackReads: rc.fallbackReads.Load(), FallbackWrites: rc.fallbackWrites.Load(),
 		CacheRetries: rs.Retries, CacheTimeouts: rs.Timeouts,
 		BreakerTrips: rs.BreakerTrips, RetryDenied: rs.BudgetDenied,
-		BrownoutSkips: rc.brownoutSkips, BrownoutBypasses: rc.brownoutBypasses,
+		BrownoutSkips: rc.brownoutSkips.Load(), BrownoutBypasses: rc.brownoutBypasses.Load(),
 	}
 }
 
 // InputHitRatio is the hit ratio over non-pipeline-intermediate
 // accesses — the quantity that collapses in the 24-tenant run.
 func (rc *RCLib) InputHitRatio() float64 {
-	rc.statsMu.Lock()
-	defer rc.statsMu.Unlock()
-	hits := rc.hits - rc.ephemHits
-	total := hits + rc.misses - rc.ephemMisses
+	hits := rc.hits.Load() - rc.ephemHits.Load()
+	total := hits + rc.misses.Load() - rc.ephemMisses.Load()
 	if total <= 0 {
 		return 0
 	}
@@ -706,11 +817,10 @@ func (rc *RCLib) InputHitRatio() float64 {
 
 // HitRatio returns hits/(hits+misses), or 0 with no traffic.
 func (rc *RCLib) HitRatio() float64 {
-	rc.statsMu.Lock()
-	defer rc.statsMu.Unlock()
-	total := rc.hits + rc.misses
+	hits := rc.hits.Load()
+	total := hits + rc.misses.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(rc.hits) / float64(total)
+	return float64(hits) / float64(total)
 }

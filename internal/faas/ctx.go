@@ -85,9 +85,7 @@ func (c *Ctx) Transform(d time.Duration, peak int64) error {
 	// performance"). The transform slows proportionally.
 	if overshoot := float64(peak-c.sb.mem) / float64(c.sb.mem); overshoot <= c.p.cfg.SwapTolerance {
 		c.swapped = true
-		c.p.stats.mu.Lock()
-		c.p.stats.Swaps++
-		c.p.stats.mu.Unlock()
+		c.p.stats.swaps.Add(1)
 		c.p.env.Sleep(d + time.Duration(float64(d)*overshoot*c.p.cfg.SwapSlowdown))
 		return nil
 	}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ofc/internal/kvstore"
@@ -303,7 +304,7 @@ type Platform struct {
 	// MonitorEnabled turns on the §5.3 in-flight memory rescue.
 	MonitorEnabled bool
 
-	stats lockedStats
+	stats atomicStats
 }
 
 // Stats aggregates platform counters.
@@ -327,16 +328,37 @@ type Stats struct {
 	RetryDenied int64
 }
 
-// lockedStats pairs the counters with their lock.
-type lockedStats struct {
-	mu sync.Mutex
-	Stats
+// atomicStats holds the hot-path counters as per-field atomics: every
+// invocation bumps several of them, and a shared stats mutex there is
+// pure contention (the kvstore/simnet counter pattern).
+type atomicStats struct {
+	invocations atomic.Int64
+	coldStarts  atomic.Int64
+	warmStarts  atomic.Int64
+	oomKills    atomic.Int64
+	retries     atomic.Int64
+	rescues     atomic.Int64
+	swaps       atomic.Int64
+	failures    atomic.Int64
+	reroutes    atomic.Int64
+	shed        atomic.Int64
+	retryDenied atomic.Int64
 }
 
-func (s *lockedStats) snapshot() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.Stats
+func (s *atomicStats) snapshot() Stats {
+	return Stats{
+		Invocations: s.invocations.Load(),
+		ColdStarts:  s.coldStarts.Load(),
+		WarmStarts:  s.warmStarts.Load(),
+		OOMKills:    s.oomKills.Load(),
+		Retries:     s.retries.Load(),
+		Rescues:     s.rescues.Load(),
+		Swaps:       s.swaps.Load(),
+		Failures:    s.failures.Load(),
+		Reroutes:    s.reroutes.Load(),
+		Shed:        s.shed.Load(),
+		RetryDenied: s.retryDenied.Load(),
+	}
 }
 
 // New creates a platform whose controller runs on ctrlNode.

@@ -21,9 +21,7 @@ type PipelineAware interface {
 // simulation process.
 func (p *Platform) Invoke(req *Request) *Result {
 	res := &Result{Start: p.env.Now()}
-	p.stats.mu.Lock()
-	p.stats.Invocations++
-	p.stats.mu.Unlock()
+	p.stats.invocations.Add(1)
 
 	fn := req.Function
 	if fn == nil {
@@ -40,9 +38,7 @@ func (p *Platform) Invoke(req *Request) *Result {
 	if p.Admission != nil {
 		release, err := p.Admission.Admit(req)
 		if err != nil {
-			p.stats.mu.Lock()
-			p.stats.Shed++
-			p.stats.mu.Unlock()
+			p.stats.shed.Add(1)
 			res.Err = err
 			res.End = p.env.Now()
 			res.QueueDelay = time.Duration(res.End - res.Start)
@@ -79,21 +75,15 @@ func (p *Platform) Invoke(req *Request) *Result {
 		// arbitrated. A denied retry surfaces as ErrRetryBudget wrapping
 		// the OOM — typed, not silent — and the activation record below
 		// is written either way.
-		p.stats.mu.Lock()
-		p.stats.OOMKills++
-		p.stats.mu.Unlock()
+		p.stats.oomKills.Add(1)
 		if p.Retry == nil || p.Retry.AllowRetry(req, attempt) {
 			// §5.3: immediate retry with the tenant-booked memory.
-			p.stats.mu.Lock()
-			p.stats.Retries++
-			p.stats.mu.Unlock()
+			p.stats.retries.Add(1)
 			res.Retried = true
 			req.advised = false
 			attempt = p.execute(req, fn.MemoryBooked, res)
 		} else {
-			p.stats.mu.Lock()
-			p.stats.RetryDenied++
-			p.stats.mu.Unlock()
+			p.stats.retryDenied.Add(1)
 			attempt = fmt.Errorf("%w: %w", ErrRetryBudget, attempt)
 		}
 	}
@@ -102,22 +92,16 @@ func (p *Platform) Invoke(req *Request) *Result {
 	// still terminates. Reroutes draw on the same retry budget.
 	for rr := 0; errors.Is(attempt, ErrInvokerDown) && rr < 3; rr++ {
 		if p.Retry != nil && !p.Retry.AllowRetry(req, attempt) {
-			p.stats.mu.Lock()
-			p.stats.RetryDenied++
-			p.stats.mu.Unlock()
+			p.stats.retryDenied.Add(1)
 			attempt = fmt.Errorf("%w: %w", ErrRetryBudget, attempt)
 			break
 		}
-		p.stats.mu.Lock()
-		p.stats.Reroutes++
-		p.stats.mu.Unlock()
+		p.stats.reroutes.Add(1)
 		attempt = p.execute(req, wanted, res)
 	}
 	res.Err = attempt
 	if attempt != nil {
-		p.stats.mu.Lock()
-		p.stats.Failures++
-		p.stats.mu.Unlock()
+		p.stats.failures.Add(1)
 	}
 	res.End = p.env.Now()
 	res.QueueDelay = time.Duration(res.End-res.Start) - res.Extract - res.Transform - res.Load
@@ -152,13 +136,9 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 	res.ScaleDownTime += scale
 	res.InitialMem = sb.mem
 	if cold {
-		p.stats.mu.Lock()
-		p.stats.ColdStarts++
-		p.stats.mu.Unlock()
+		p.stats.coldStarts.Add(1)
 	} else {
-		p.stats.mu.Lock()
-		p.stats.WarmStarts++
-		p.stats.mu.Unlock()
+		p.stats.warmStarts.Add(1)
 	}
 
 	ctx := &Ctx{p: p, inv: inv, sb: sb, req: req, execStart: p.env.Now()}
@@ -178,9 +158,7 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 	res.Rescued = res.Rescued || ctx.rescued
 	res.Swapped = res.Swapped || ctx.swapped
 	if ctx.rescued {
-		p.stats.mu.Lock()
-		p.stats.Rescues++
-		p.stats.mu.Unlock()
+		p.stats.rescues.Add(1)
 	}
 
 	if errors.Is(err, ErrOOM) {

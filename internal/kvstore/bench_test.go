@@ -10,6 +10,7 @@ import (
 // BenchmarkClusterWrite measures the host cost of a replicated durable
 // write through the simulated fabric.
 func BenchmarkClusterWrite(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv(1)
 	c, _ := testCluster(env)
 	env.Go(func() {
@@ -25,6 +26,7 @@ func BenchmarkClusterWrite(b *testing.B) {
 
 // BenchmarkClusterRead measures the host cost of a cache read.
 func BenchmarkClusterRead(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv(1)
 	c, _ := testCluster(env)
 	env.Go(func() {
@@ -41,6 +43,7 @@ func BenchmarkClusterRead(b *testing.B) {
 
 // BenchmarkLogPut measures the raw log-structured engine.
 func BenchmarkLogPut(b *testing.B) {
+	b.ReportAllocs()
 	l := newObjLog(16 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -53,6 +56,7 @@ func BenchmarkLogPut(b *testing.B) {
 
 // BenchmarkMigrateToBackup measures the promotion path.
 func BenchmarkMigrateToBackup(b *testing.B) {
+	b.ReportAllocs()
 	env := sim.NewEnv(1)
 	c, _ := testCluster(env)
 	env.Go(func() {

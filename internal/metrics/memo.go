@@ -1,0 +1,26 @@
+package metrics
+
+import "sync/atomic"
+
+// MemoCounters tracks a memoization cache that sits on a hot path:
+// increments are lock-free atomics so the cache's bookkeeping never
+// serializes the callers it exists to speed up.
+type MemoCounters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	invalidations atomic.Int64
+}
+
+// Hit records a served-from-cache lookup.
+func (m *MemoCounters) Hit() { m.hits.Add(1) }
+
+// Miss records a lookup that fell through to the computation.
+func (m *MemoCounters) Miss() { m.misses.Add(1) }
+
+// Invalidation records a cache flush (e.g. a model retrain).
+func (m *MemoCounters) Invalidation() { m.invalidations.Add(1) }
+
+// Snapshot reads the three counters.
+func (m *MemoCounters) Snapshot() (hits, misses, invalidations int64) {
+	return m.hits.Load(), m.misses.Load(), m.invalidations.Load()
+}

@@ -102,6 +102,18 @@ func main() {
 		// meaningful; the shared threshold still decides pass/fail.
 		check("micro/"+o.Name+"/allocs_op", o.AllocsPerOp, n.AllocsPerOp, 0.5)
 	}
+	// Micro rows only present in the new snapshot (a freshly added
+	// benchmark) have no baseline to gate against; report them so the
+	// next baseline refresh picks them up.
+	oldMicro := map[string]benchEntry{}
+	for _, e := range oldF.Micro {
+		oldMicro[e.Name] = e
+	}
+	for _, n := range newF.Micro {
+		if _, ok := oldMicro[n.Name]; !ok {
+			fmt.Printf("%-40s %12s -> %12.2f  new metric (no baseline)\n", "micro/"+n.Name+"/ns_op", "-", n.NsPerOp)
+		}
+	}
 
 	newExp := map[string]expEntry{}
 	for _, e := range newF.Experiments {
