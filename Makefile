@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all check build test race test-race vet lint lint-fix bench bench-store bench-sim bench-ml bench-baseline benchdiff repro scorecard smoke-overload smoke-policies clean
+.PHONY: all check build test test-cover race test-race vet lint lint-fix bench bench-store bench-sim bench-ml bench-baseline benchdiff repro scorecard smoke-overload smoke-policies smoke-trace clean
 
 all: check
 
 # The default gate: build, vet, the determinism/correctness analyzers,
 # full tests, the race detector over the concurrency-heavy packages
-# (cache cluster, proxy/resilience, chaos), then the end-to-end
-# overload drill and the memctl policy-ablation grid.
-check: build vet lint test test-race smoke-overload smoke-policies
+# (cache cluster, proxy/resilience, chaos), coverage with the trace
+# floor, then the end-to-end overload drill, the memctl policy-ablation
+# grid and the golden-trace determinism smoke.
+check: build vet lint test test-race test-cover smoke-overload smoke-policies smoke-trace
 
 build:
 	$(GO) build ./...
@@ -18,11 +19,18 @@ build:
 test:
 	$(GO) test ./...
 
+# Statement coverage: repo-wide report (informational) with a hard
+# floor on internal/trace — the golden-trace harness is the point of
+# that subsystem, so its coverage slipping fails the build.
+test-cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./scripts/covercheck -profile cover.out -pkg ofc/internal/trace -floor 70
+
 race:
 	$(GO) test -race ./...
 
 test-race:
-	$(GO) test -race ./internal/sim/... ./internal/kvstore/... ./internal/store/... ./internal/core/... ./internal/chaos/...
+	$(GO) test -race ./internal/sim/... ./internal/kvstore/... ./internal/store/... ./internal/core/... ./internal/chaos/... ./internal/trace/...
 
 vet:
 	$(GO) vet ./...
@@ -90,6 +98,12 @@ smoke-overload:
 # scale-down reclaim probe.
 smoke-policies:
 	$(GO) run ./cmd/ofc-bench -exp policies -quick
+
+# Golden-trace determinism smoke: the fixed-seed drill must export
+# bit-identical Chrome-trace JSON and validate as well-formed.
+# Intentional changes regenerate with OFC_REGEN_GOLDEN=1.
+smoke-trace:
+	$(GO) test ./internal/experiments -run 'TestGoldenTrace|TestTraceDrill' -count=1
 
 clean:
 	$(GO) clean ./...

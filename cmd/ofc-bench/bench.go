@@ -99,6 +99,20 @@ func qualityMetrics() []QualityEntry {
 			QualityEntry{Name: "policies/" + cell + "/reclaim_ms", Value: float64(r.ReclaimLat.Microseconds()) / 1e3},
 		)
 	}
+	// The trace drill is fully deterministic: span coverage shrinking or
+	// drops appearing is an instrumentation regression, and a per-phase
+	// total moving is a latency change on that path.
+	_, tres := experiments.TraceDrill(1)
+	out = append(out,
+		QualityEntry{Name: "trace/spans", Value: float64(len(tres.Spans)), HigherBetter: true},
+		QualityEntry{Name: "trace/drops", Value: float64(tres.Drops)},
+	)
+	for _, st := range tres.Breakdown {
+		out = append(out, QualityEntry{
+			Name:  "trace/phase/" + st.Phase + "_total_ms",
+			Value: float64(st.Total) / 1e6,
+		})
+	}
 	return out
 }
 

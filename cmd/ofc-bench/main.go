@@ -318,6 +318,11 @@ func registry() []experiment {
 			tab, _ := experiments.StorePlane(seed)
 			o.emit(tab)
 		}},
+		{"trace", "deterministic end-to-end span drill: per-phase latency breakdown", func(o *output, seed int64, quick bool) {
+			tab, res := experiments.TraceDrill(seed)
+			o.emit(tab)
+			o.printf("  spans: %d  dropped: %d\n", len(res.Spans), res.Drops)
+		}},
 	}
 }
 

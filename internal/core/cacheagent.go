@@ -12,6 +12,7 @@ import (
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
 	"ofc/internal/store"
+	"ofc/internal/trace"
 )
 
 // CacheAgentConfig tunes the per-node agent (§6.3, §6.4).
@@ -125,6 +126,10 @@ type CacheAgent struct {
 	cfg  CacheAgentConfig
 	pol  memctl.Policies
 
+	// tracer records reclaim/evict.sweep spans as trace-0 roots (nil =
+	// off). Set before Start; read without synchronization.
+	tracer *trace.Tracer
+
 	// mu guards the mutable snapshot state AND the policy set: policy
 	// implementations are plain bookkeeping with no internal locking,
 	// so every Touch/Admit/Victims/Plan/Observe/Target call happens
@@ -166,6 +171,10 @@ func normalizeSpec(s memctl.Spec) memctl.Spec {
 	}
 	return s
 }
+
+// SetTracer attaches a span recorder to the agent's reclaim and
+// eviction paths. Call before Start.
+func (a *CacheAgent) SetTracer(tr *trace.Tracer) { a.tracer = tr }
 
 // Node returns the agent's node.
 func (a *CacheAgent) Node() simnet.NodeID { return a.node }
@@ -434,6 +443,21 @@ func (a *CacheAgent) SetPressure(p memctl.Pressure) {
 // outputs get their write-back triggered asynchronously. Returns the
 // critical-path time spent.
 func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
+	if a.tracer == nil {
+		return a.reclaim(need, nil)
+	}
+	sp := a.tracer.Begin(0, 0, "reclaim", a.node)
+	sp.SetNum("need", need)
+	took, err := a.reclaim(need, &sp)
+	if err != nil {
+		sp.SetNum("err", 1)
+	}
+	a.tracer.End(&sp)
+	return took, err
+}
+
+// reclaim is Reclaim's body (the wrapper owns the span).
+func (a *CacheAgent) reclaim(need int64, sp *trace.Span) (time.Duration, error) {
 	start := a.env.Now()
 	grant := a.inv.CacheGrant()
 	if grant < need {
@@ -469,6 +493,13 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 		a.env.Sleep(a.cfg.ShrinkBaseNoEvict)
 	}
 
+	if migrated > 0 {
+		sp.SetNum("migrated", int64(migrated))
+	}
+	if evicted > 0 {
+		sp.SetNum("evicted", int64(evicted))
+	}
+
 	newGrant := a.inv.SetCacheGrant(grant - need)
 	a.kv.SetMemoryLimit(a.node, newGrant)
 
@@ -495,6 +526,21 @@ func (a *CacheAgent) Reclaim(need int64) (time.Duration, error) {
 // watermark), the agent executes — dirty victims are written back
 // before eviction, clean ones evicted directly.
 func (a *CacheAgent) periodicEviction() {
+	if a.tracer == nil {
+		a.evictionSweep()
+		return
+	}
+	sp := a.tracer.Begin(0, 0, "evict.sweep", a.node)
+	victims := a.evictionSweep()
+	if victims > 0 {
+		sp.SetNum("victims", int64(victims))
+	}
+	a.tracer.End(&sp)
+}
+
+// evictionSweep is periodicEviction's body (the wrapper owns the
+// span); it returns the number of victims the policy selected.
+func (a *CacheAgent) evictionSweep() int {
 	v := a.view(0)
 	a.mu.Lock()
 	victims := a.pol.Eviction.Victims(v)
@@ -520,6 +566,7 @@ func (a *CacheAgent) periodicEviction() {
 			a.mu.Unlock()
 		}
 	}
+	return len(victims)
 }
 
 // Governor adapts a set of agents to the faas.MemoryGovernor interface

@@ -11,6 +11,7 @@ import (
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
 	"ofc/internal/store"
+	"ofc/internal/trace"
 )
 
 // Options configures a full OFC deployment.
@@ -76,11 +77,15 @@ type System struct {
 	// Overload is the overload-control subsystem; nil until
 	// EnableOverload is called.
 	Overload *OverloadControl
+	// Tracer is the deterministic span recorder; nil until
+	// EnableTracing is called.
+	Tracer *trace.Tracer
 
 	CtrlNode    simnet.NodeID
 	StorageNode simnet.NodeID
 	WorkerNodes []simnet.NodeID
 
+	seed   int64
 	agents []*CacheAgent
 
 	statsMu  sync.Mutex
@@ -120,6 +125,7 @@ func NewSystem(opts Options) *System {
 	sys := &System{
 		Env: env, Net: net, Platform: platform, Backend: backend, KV: kv, RSDS: rsds,
 		CtrlNode: ctrl, StorageNode: storage, WorkerNodes: workers,
+		seed: opts.Seed,
 	}
 	sys.Pred = NewPredictor(opts.Predictor)
 	sys.Trainer = NewModelTrainer(sys.Pred, env)
@@ -154,6 +160,29 @@ func NewSystem(opts Options) *System {
 	// routing per-object Admit/Touch to the owning node's policies.
 	sys.RC.SetAdmissionGate(sys.Gov)
 	return sys
+}
+
+// EnableTracing attaches one deterministic span recorder to every
+// traced subsystem: platform invoke path, predictor, proxy (RCLib), KV
+// coordinator RPCs and the cache agents. Call before Start and before
+// any traffic; cfg.Seed defaults to the system's simulation seed so
+// trace IDs reproduce at a fixed seed. Returns the tracer for export.
+func (s *System) EnableTracing(cfg trace.Config) *trace.Tracer {
+	if cfg.Seed == 0 {
+		cfg.Seed = s.seed
+	}
+	tr := trace.New(s.Env, cfg)
+	s.Platform.Tracer = tr
+	s.Pred.SetTracer(tr)
+	s.RC.SetTracer(tr)
+	if s.KV != nil {
+		s.KV.SetTracer(tr)
+	}
+	for _, a := range s.agents {
+		a.SetTracer(tr)
+	}
+	s.Tracer = tr
+	return tr
 }
 
 // Start arms the background loops (cache agents, model trainer). It is

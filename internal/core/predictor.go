@@ -11,6 +11,7 @@ import (
 	"ofc/internal/metrics"
 	"ofc/internal/mltree"
 	"ofc/internal/sim"
+	"ofc/internal/trace"
 )
 
 // Sample is one observed invocation used for training.
@@ -119,9 +120,17 @@ type Predictor struct {
 	// all functions (lock-free; reporting reads a coherent snapshot).
 	memo metrics.MemoCounters
 
+	// tracer records "predict"/"retrain" spans (nil = off; set before
+	// traffic starts). The Advise fast path stays zero-alloc: with a
+	// nil tracer it branches straight into the untraced body.
+	tracer *trace.Tracer
+
 	mu     sync.Mutex
 	models map[string]*modelState
 }
+
+// SetTracer attaches the span recorder. Call before traffic starts.
+func (p *Predictor) SetTracer(tr *trace.Tracer) { p.tracer = tr }
 
 // NewPredictor returns an empty predictor.
 func NewPredictor(cfg PredictorConfig) *Predictor {
@@ -174,10 +183,29 @@ func appendVecKey(dst []byte, vals []float64) []byte {
 // semantically invisible. A hit costs a vector build, a key append and
 // one map probe — no tree walk, no allocation.
 func (p *Predictor) Advise(req *faas.Request) faas.Advice {
+	if p.tracer == nil {
+		return p.advise(req, nil)
+	}
+	ref := req.TraceRef()
+	sp := p.tracer.Begin(ref.Trace, ref.Span, "predict", 0)
+	adv := p.advise(req, &sp)
+	if adv.Use {
+		sp.SetNum("use", 1)
+	} else {
+		sp.SetNum("use", 0)
+	}
+	p.tracer.End(&sp)
+	return adv
+}
+
+// advise is Advise's body; sp (nil when tracing is off) collects the
+// memo-hit/maturity attributes.
+func (p *Predictor) advise(req *faas.Request, sp *trace.Span) faas.Advice {
 	st := p.state(req.Function)
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if !st.mature || st.memModel == nil {
+		sp.SetNum("immature", 1)
 		return faas.Advice{Use: false, ShouldCache: false}
 	}
 	vals := st.schema.VectorInto(req, st.vecBuf)
@@ -188,9 +216,11 @@ func (p *Predictor) Advise(req *faas.Request) faas.Advice {
 		st.keyBuf = appendVecKey(st.keyBuf[:0], vals)
 		if adv, ok := st.advCache[string(st.keyBuf)]; ok {
 			p.memo.Hit()
+			sp.SetNum("memo", 1)
 			return adv
 		}
 		p.memo.Miss()
+		sp.SetNum("memo", 0)
 	}
 
 	adv := st.adviseLocked(p.cfg.Intervals, vals)
@@ -385,6 +415,16 @@ func (t *ModelTrainer) trainLocked(st *modelState) {
 		if len(st.advCache) > 0 {
 			st.advCache = nil
 			t.p.memo.Invalidation()
+		}
+		// Control-plane root span (trace 0): retrains have no owning
+		// invocation. Zero-duration — training is off the virtual
+		// clock — but the event and its generation are part of the
+		// latency story (each one flushes the advice memo).
+		if tr := t.p.tracer; tr != nil {
+			sp := tr.Begin(0, 0, "retrain", 0)
+			sp.SetStr("fn", st.fn.ID())
+			sp.SetNum("gen", int64(st.gen))
+			tr.End(&sp)
 		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
 	"ofc/internal/store"
+	"ofc/internal/trace"
 )
 
 // RCLib is OFC's Proxy + rclib (paper §4, §6.2): the storage layer
@@ -81,6 +82,11 @@ type RCLib struct {
 	// cache keeps only its existing hot set and the write path stops
 	// depending on cache capacity.
 	brownout atomic.Bool
+
+	// tracer records cache.get/cache.put/rsds.fetch spans (nil = off;
+	// set before traffic starts). Get/Put branch into their untraced
+	// bodies on nil, keeping the warm-hit path's allocation profile.
+	tracer *trace.Tracer
 
 	// coalesce enables miss coalescing (EnableMissCoalescing): N
 	// concurrent misses of one key on one node issue a single RSDS
@@ -284,6 +290,10 @@ func (rc *RCLib) admissionGate() AdmissionGate {
 	return nil
 }
 
+// SetTracer attaches the span recorder. Like EnableMissCoalescing,
+// call before traffic starts.
+func (rc *RCLib) SetTracer(tr *trace.Tracer) { rc.tracer = tr }
+
 // SetBrownout switches the proxy's degradation mode (see the brownout
 // field).
 func (rc *RCLib) SetBrownout(on bool) { rc.brownout.Store(on) }
@@ -355,12 +365,22 @@ func (rc *RCLib) AttachPlatform(p *faas.Platform) {
 // the §6.3 discard policy for final outputs. Striped objects
 // reassemble transparently inside the chunking middleware.
 func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
+	ref := ctx.Trace()
+	sp := rc.tracer.Begin(ref.Trace, ref.Span, "persist", ctx.Node())
+	err := rc.persistOnce(ctx, &sp)
+	rc.tracer.End(&sp)
+	return err
+}
+
+// persistOnce is persistBody's body (the wrapper owns the span).
+func (rc *RCLib) persistOnce(ctx *faas.Ctx, sp *trace.Span) error {
 	key := ctx.InputKeys()[0]
 	version := uint64(ctx.Arg("version"))
 	node := ctx.Node()
 	blob, meta, err := rc.be.Read(node, key)
 	if err != nil {
 		if store.IsUnavailable(err) {
+			sp.SetNum("rescheduled", 1)
 			// The cache is temporarily unreachable. The acknowledged
 			// payload survives in backup replicas, so the pending
 			// write-back must NOT be resolved — reschedule the persist
@@ -371,6 +391,7 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 			return nil
 		}
 		// The object vanished (external invalidation); nothing to push.
+		sp.SetNum("vanished", 1)
 		rc.resolvePending(key)
 		return nil
 	}
@@ -387,6 +408,9 @@ func (rc *RCLib) persistBody(ctx *faas.Ctx) error {
 	}
 	// A stale persist means a newer version's persistor owns the key.
 	if perr == nil || errors.Is(perr, objstore.ErrStale) {
+		if perr != nil {
+			sp.SetNum("stale", 1)
+		}
 		rc.resolvePending(key)
 	}
 	return nil
@@ -462,9 +486,25 @@ func (rc *RCLib) noteGetMiss(key string, unavailable bool) {
 // is an RSDS read and counts as a miss — cache-off mode reports an
 // honest zero hit ratio.
 func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.Blob, error) {
+	if rc.tracer == nil {
+		return rc.get(caller, key, opts, nil)
+	}
+	sp := rc.tracer.Begin(opts.Trace.Trace, opts.Trace.Span, "cache.get", caller)
+	blob, err := rc.get(caller, key, opts, &sp)
+	if err != nil {
+		sp.SetNum("err", 1)
+	}
+	rc.tracer.End(&sp)
+	return blob, err
+}
+
+// get is Get's body; sp (nil when tracing is off) collects the probe
+// outcome: hit/miss, coalescing role, brownout/veto skips, fallback.
+func (rc *RCLib) get(caller simnet.NodeID, key string, opts faas.PutOpts, sp *trace.Span) (faas.Blob, error) {
 	if rc.durable {
 		blob, _, err := rc.be.Read(caller, key)
 		rc.noteGetMiss(key, false)
+		sp.SetStr("path", "durable")
 		if err != nil {
 			return faas.Blob{}, err
 		}
@@ -473,14 +513,19 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 	blob, meta, err := rc.be.Read(caller, key)
 	if err == nil {
 		rc.noteGetHit(caller, key, meta.Tags["kind"] == "intermediate")
+		sp.SetNum("hit", 1)
 		return blob, nil
 	}
 	unavailable := store.IsUnavailable(err)
 	rc.noteGetMiss(key, unavailable)
-	if rc.coalesce {
-		return rc.getCoalesced(caller, key, opts, unavailable)
+	sp.SetNum("hit", 0)
+	if unavailable {
+		sp.SetNum("fallback", 1)
 	}
-	res := rc.fetchMiss(caller, key, opts, unavailable)
+	if rc.coalesce {
+		return rc.getCoalesced(caller, key, opts, unavailable, sp)
+	}
+	res := rc.fetchMiss(caller, key, opts, unavailable, sp)
 	return res.blob, res.err
 }
 
@@ -490,13 +535,14 @@ func (rc *RCLib) Get(caller simnet.NodeID, key string, opts faas.PutOpts) (faas.
 // share its result, issuing no RSDS traffic of their own. Every caller
 // still counts its own miss — coalescing changes the fetch fan-out,
 // not the hit ratio.
-func (rc *RCLib) getCoalesced(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool) (faas.Blob, error) {
+func (rc *RCLib) getCoalesced(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool, sp *trace.Span) (faas.Blob, error) {
 	fk := flightKey{node: caller, key: key}
 	sh := &rc.flights[shardIdx(key)]
 	sh.mu.Lock()
 	if f, ok := sh.m[fk]; ok {
 		sh.mu.Unlock()
 		rc.missCoalesced.Add(1)
+		sp.SetNum("coalesced", 1)
 		res := f.Wait()
 		return res.blob, res.err
 	}
@@ -504,7 +550,8 @@ func (rc *RCLib) getCoalesced(caller simnet.NodeID, key string, opts faas.PutOpt
 	sh.m[fk] = f
 	sh.mu.Unlock()
 
-	res := rc.fetchMiss(caller, key, opts, unavailable)
+	sp.SetNum("leader", 1)
+	res := rc.fetchMiss(caller, key, opts, unavailable, sp)
 
 	sh.mu.Lock()
 	delete(sh.m, fk)
@@ -516,7 +563,9 @@ func (rc *RCLib) getCoalesced(caller simnet.NodeID, key string, opts faas.PutOpt
 // fetchMiss fetches key from the RSDS (waiting out a shadow
 // placeholder if one is pending) and admits cache-worthy inputs off
 // the critical path.
-func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool) getResult {
+func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, unavailable bool, sp *trace.Span) getResult {
+	ref := sp.Ref()
+	fsp := rc.tracer.Begin(ref.Trace, ref.Span, "rsds.fetch", caller)
 	blob, m, rerr := rc.rsds.Get(caller, key, false)
 	if rerr == nil && m.IsShadow() {
 		// The authoritative payload is a not-yet-persisted cache write
@@ -524,17 +573,22 @@ func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, 
 		// pending write-back — the Persistor retries until the cache
 		// recovers — then re-read the now-persisted payload.
 		if f := rc.pendingFuture(key); f != nil {
+			fsp.SetNum("shadowWait", 1)
 			f.Wait()
 			blob, _, rerr = rc.rsds.Get(caller, key, false)
 		}
 	}
 	if rerr != nil {
+		fsp.SetNum("err", 1)
+		rc.tracer.End(&fsp)
 		return getResult{err: rerr}
 	}
+	rc.tracer.End(&fsp)
 	if opts.ShouldCache && rc.inBrownout() {
 		// Brownout: no new admissions — the cache serves (and keeps)
 		// only what it already holds.
 		rc.brownoutSkips.Add(1)
+		sp.SetNum("brownoutSkip", 1)
 		return getResult{blob: blob}
 	}
 	if opts.ShouldCache && !unavailable && blob.Size <= rc.base.MaxObjectSize() {
@@ -546,13 +600,20 @@ func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, 
 		// policy holds a veto (the paper's policy always admits).
 		if g := rc.admissionGate(); g != nil && !g.AdmitObject(caller, key, blob.Size, opts.Benefit) {
 			rc.admitVetoes.Add(1)
+			sp.SetNum("veto", 1)
 			return getResult{blob: blob}
 		}
 		rc.env.Go(func() {
+			// Off-critical-path admission: a control-plane root span
+			// (the issuing invocation may already have completed).
+			asp := rc.tracer.Begin(0, 0, "cache.admit", caller)
 			_, werr := rc.be.Write(caller, key, blob, map[string]string{"kind": "input", "dirty": "0"}, caller)
 			if werr == nil {
 				rc.admissions.Add(1)
+			} else {
+				asp.SetNum("err", 1)
 			}
+			rc.tracer.End(&asp)
 		})
 	}
 	return getResult{blob: blob}
@@ -570,12 +631,28 @@ func (rc *RCLib) fetchMiss(caller simnet.NodeID, key string, opts faas.PutOpts, 
 // ordinary cache paths and stripe transparently below. With a durable
 // engine every write is a synchronous write-through.
 func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts) error {
+	if rc.tracer == nil {
+		return rc.put(caller, key, blob, opts, nil)
+	}
+	sp := rc.tracer.Begin(opts.Trace.Trace, opts.Trace.Span, "cache.put", caller)
+	err := rc.put(caller, key, blob, opts, &sp)
+	if err != nil {
+		sp.SetNum("err", 1)
+	}
+	rc.tracer.End(&sp)
+	return err
+}
+
+// put is Put's body; sp (nil when tracing is off) records which of the
+// §6.2/§6.3 write paths the object took.
+func (rc *RCLib) put(caller simnet.NodeID, key string, blob faas.Blob, opts faas.PutOpts, sp *trace.Span) error {
 	if opts.Kind != faas.KindInput {
 		rc.ephemeral.Add(blob.Size)
 	}
 	if rc.durable {
 		// Durable engine: the ack IS persistence. No shadow, no
 		// persistor, no dirty state.
+		sp.SetStr("path", "durable")
 		_, err := rc.be.Write(caller, key, blob, nil, caller)
 		rc.bypassWrites.Add(1)
 		return err
@@ -587,6 +664,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	// cache path: they are never persisted and pushing them to the
 	// RSDS would cost more than it frees.
 	if opts.Kind != faas.KindIntermediate && rc.inBrownout() {
+		sp.SetStr("path", "brownout")
 		rc.rsds.Put(caller, key, blob, nil, false)
 		rc.bypassWrites.Add(1)
 		rc.brownoutBypasses.Add(1)
@@ -597,12 +675,15 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	// when the pipeline ends); everything else respects the Predictor.
 	if opts.Kind != faas.KindIntermediate &&
 		(!opts.ShouldCache || blob.Size > maxObj) {
+		sp.SetStr("path", "bypass")
 		rc.rsds.Put(caller, key, blob, nil, false)
 		rc.bypassWrites.Add(1)
 		return nil
 	}
 	if opts.Kind == faas.KindIntermediate {
+		sp.SetStr("path", "intermediate")
 		if blob.Size > maxObj {
+			sp.SetNum("bypass", 1)
 			rc.rsds.Put(caller, key, blob, nil, false)
 			rc.bypassWrites.Add(1)
 			return nil
@@ -614,6 +695,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 			// Cache full or unreachable: fall back to the RSDS
 			// (transparently slower).
 			rc.countWriteFallback(err)
+			sp.SetNum("fallback", 1)
 			rc.rsds.Put(caller, key, blob, nil, false)
 			return nil
 		}
@@ -627,16 +709,19 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 	if rc.isRelaxed(key) {
 		// §6.2 relaxed mode: cache-resident, lazily written back. The
 		// version tag 0 makes WriteBackNow use a plain Put.
+		sp.SetStr("path", "relaxed")
 		_, err := rc.be.Write(caller, key, blob, map[string]string{
 			"kind": "final", "dirty": "1", "version": "0",
 		}, caller)
 		if err != nil {
 			rc.countWriteFallback(err)
+			sp.SetNum("fallback", 1)
 			rc.rsds.Put(caller, key, blob, nil, false)
 		}
 		return nil
 	}
 	// Final output: shadow + cache + async persist.
+	sp.SetStr("path", "writeback")
 	version := rc.rsds.PutShadow(caller, key, blob.Size)
 	_, err := rc.be.Write(caller, key, blob, map[string]string{
 		"kind": "final", "dirty": "1", "version": strconv.FormatUint(version, 10),
@@ -646,6 +731,7 @@ func (rc *RCLib) Put(caller simnet.NodeID, key string, blob faas.Blob, opts faas
 		// (the vanilla write-through path). The shadow version keeps
 		// ordering with any concurrent persistors.
 		rc.countWriteFallback(err)
+		sp.SetNum("fallback", 1)
 		return rc.rsds.PersistPayload(caller, key, blob, version)
 	}
 	rc.schedulePersist(caller, key, version)
@@ -714,6 +800,19 @@ func (rc *RCLib) PipelineDone(pipeline string) {
 // the CacheAgent when reclaiming space). Returns false when the object
 // is not dirty or vanished.
 func (rc *RCLib) WriteBackNow(node simnet.NodeID, key string) bool {
+	sp := rc.tracer.Begin(0, 0, "cache.writeback", node)
+	ok := rc.writeBackNow(node, key)
+	if ok {
+		sp.SetNum("ok", 1)
+	} else {
+		sp.SetNum("ok", 0)
+	}
+	rc.tracer.End(&sp)
+	return ok
+}
+
+// writeBackNow is WriteBackNow's body (the wrapper owns the span).
+func (rc *RCLib) writeBackNow(node simnet.NodeID, key string) bool {
 	blob, meta, err := rc.be.Read(node, key)
 	if err != nil || meta.Tags["dirty"] != "1" {
 		return false

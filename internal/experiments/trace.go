@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ofc/internal/faas"
+	"ofc/internal/trace"
+	"ofc/internal/workload"
+)
+
+// TraceResult carries the trace drill's raw material alongside the
+// rendered table: the canonicalized spans (ready for export or golden
+// comparison), the recorder's drop count and the per-phase breakdown.
+type TraceResult struct {
+	Spans     []trace.Span
+	Drops     int64
+	Breakdown []trace.PhaseStat
+}
+
+// TraceDrill runs a fixed invocation sequence on a trace-enabled OFC
+// deployment — cold miss with admission, local cache hit, remote hit
+// on a second worker, then a direct §6.4 reclaim probe — and returns
+// the per-phase latency breakdown over every recorded span. At a fixed
+// seed the canonicalized spans are bit-identical run to run (see the
+// determinism contract in package trace), which the golden-trace
+// regression test pins.
+func TraceDrill(seed int64) (*Table, TraceResult) {
+	spec := workload.SpecByName("wand_resize")
+	cfg := DefaultDeploy()
+	cfg.Seed = seed
+	d := NewDeployment(ModeOFC, cfg)
+	tr := d.Sys.EnableTracing(trace.Config{})
+	fn := d.Suite.Build(spec, "trace", 0)
+	d.Register(fn)
+	rng := rand.New(rand.NewSource(seed))
+	pool := workload.NewInputPool(rng, spec.InputType, "trace/in", []int64{64 << 10}, 1)
+	d.Pretrain(spec, fn, pool, 400)
+	args := spec.GenArgs(rng)
+	d.Run(func() {
+		pool.Stage(d.Writer)
+		in := pool.Inputs[0]
+		req := func() *faas.Request { return workload.NewRequest(fn, spec, in, args) }
+		restore := d.PinTo(d.Workers[0])
+		d.Platform.Invoke(req()) // cold miss + cache admission on worker 0
+		d.Env.Sleep(2 * time.Second)
+		d.Platform.Invoke(req()) // local hit
+		restore()
+		restore = d.PinTo(d.Workers[1])
+		d.Platform.Invoke(req()) // remote hit (promotion from worker 0)
+		restore()
+		if a := d.Sys.Gov.Agent(d.Workers[0]); a != nil {
+			a.Reclaim(4 << 10) // exercise the fast-reclaim span
+		}
+	})
+	spans := trace.Canonicalize(tr.Snapshot())
+	res := TraceResult{Spans: spans, Drops: tr.Drops(), Breakdown: trace.Breakdown(spans)}
+	t := &Table{
+		Title:   "Trace drill — per-phase latency breakdown (cold miss / local hit / remote hit / reclaim)",
+		Headers: []string{"Phase", "Count", "Total", "Mean", "P50", "P99", "Max"},
+	}
+	for _, st := range res.Breakdown {
+		t.Add(st.Phase, st.Count, time.Duration(st.Total), time.Duration(st.Mean),
+			time.Duration(st.P50), time.Duration(st.P99), time.Duration(st.Max))
+	}
+	t.Note = fmt.Sprintf("%d spans recorded, %d dropped", len(spans), res.Drops)
+	return t, res
+}

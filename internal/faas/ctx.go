@@ -5,6 +5,7 @@ import (
 
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/trace"
 )
 
 // Ctx is the execution context a function body runs with. It exposes
@@ -17,6 +18,7 @@ type Ctx struct {
 	req *Request
 
 	execStart sim.Time
+	tref      trace.Ref // the execute span the body runs under
 	extract   time.Duration
 	transform time.Duration
 	load      time.Duration
@@ -48,20 +50,34 @@ func (c *Ctx) InputKeys() []string { return c.req.InputKeys }
 // SandboxMem returns the current sandbox memory limit.
 func (c *Ctx) SandboxMem() int64 { return c.sb.mem }
 
+// Trace returns the execute span the body runs under (zero when
+// tracing is off), so helper functions injected by the platform (the
+// Persistor) can parent their spans to it.
+func (c *Ctx) Trace() trace.Ref { return c.tref }
+
 // putOpts assembles the storage intent for this invocation.
 func (c *Ctx) putOpts(kind ObjKind) PutOpts {
-	return PutOpts{Kind: kind, Pipeline: c.req.Pipeline, ShouldCache: c.req.shouldCache, Benefit: c.req.benefit}
+	return PutOpts{Kind: kind, Pipeline: c.req.Pipeline, ShouldCache: c.req.shouldCache,
+		Benefit: c.req.benefit, Trace: c.tref}
 }
 
 // Extract reads one input object, charging the Extract phase.
 func (c *Ctx) Extract(key string) (Blob, error) {
+	sp := c.p.Tracer.Begin(c.tref.Trace, c.tref.Span, "extract", c.inv.node.ID)
+	opts := c.putOpts(KindInput)
+	if sp.ID != 0 {
+		opts.Trace = sp.Ref()
+	}
 	start := c.p.env.Now()
-	blob, err := c.inv.storage.Get(c.inv.node.ID, key, c.putOpts(KindInput))
+	blob, err := c.inv.storage.Get(c.inv.node.ID, key, opts)
 	c.extract += time.Duration(c.p.env.Now() - start)
 	if err == nil {
 		c.bytesIn += blob.Size
 		c.readOps++
+	} else {
+		sp.SetNum("err", 1)
 	}
+	c.p.Tracer.End(&sp)
 	return blob, err
 }
 
@@ -71,6 +87,17 @@ func (c *Ctx) Extract(key string) (Blob, error) {
 // Monitor raising the cgroup cap; short ones are OOM-killed (the
 // platform retries them at the tenant-booked memory).
 func (c *Ctx) Transform(d time.Duration, peak int64) error {
+	sp := c.p.Tracer.Begin(c.tref.Trace, c.tref.Span, "transform", c.inv.node.ID)
+	err := c.transformInner(d, peak)
+	if err != nil {
+		sp.SetNum("oom", 1)
+	}
+	c.p.Tracer.End(&sp)
+	return err
+}
+
+// transformInner is Transform's body (the wrapper owns the span).
+func (c *Ctx) transformInner(d time.Duration, peak int64) error {
 	start := c.p.env.Now()
 	defer func() { c.transform += time.Duration(c.p.env.Now() - start) }()
 	if peak > c.peakMem {
@@ -131,13 +158,21 @@ func (c *Ctx) Load(key string, blob Blob, kind ObjKind) error {
 	if kind == KindIntermediate && c.req.FinalStage {
 		kind = KindFinal
 	}
+	sp := c.p.Tracer.Begin(c.tref.Trace, c.tref.Span, "load", c.inv.node.ID)
+	opts := c.putOpts(kind)
+	if sp.ID != 0 {
+		opts.Trace = sp.Ref()
+	}
 	start := c.p.env.Now()
-	err := c.inv.storage.Put(c.inv.node.ID, key, blob, c.putOpts(kind))
+	err := c.inv.storage.Put(c.inv.node.ID, key, blob, opts)
 	c.load += time.Duration(c.p.env.Now() - start)
 	if err == nil {
 		c.bytesOut += blob.Size
 		c.writeOps++
+	} else {
+		sp.SetNum("err", 1)
 	}
+	c.p.Tracer.End(&sp)
 	return err
 }
 

@@ -22,6 +22,7 @@ import (
 	"ofc/internal/kvstore"
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/trace"
 )
 
 // Blob aliases the shared payload type.
@@ -52,6 +53,9 @@ type PutOpts struct {
 	// probability mass behind ShouldCache; 0 when no model advised).
 	// Cost-aware eviction policies weigh it per object.
 	Benefit float64
+	// Trace links storage-layer spans to the invocation phase that
+	// issued the operation (zero when tracing is off).
+	Trace trace.Ref
 }
 
 // Storage is the data plane functions use for their Extract and Load
@@ -106,6 +110,7 @@ type Request struct {
 	shouldCache bool
 	benefit     float64
 	advised     bool
+	tref        trace.Ref
 }
 
 // PredictedMem returns the advised sandbox memory (0 if not advised).
@@ -119,6 +124,11 @@ func (r *Request) ShouldCache() bool { return r.shouldCache }
 
 // Benefit reports the Advisor's caching-benefit score (0 if none).
 func (r *Request) Benefit() float64 { return r.benefit }
+
+// TraceRef returns the span the request is currently executing under
+// (zero when tracing is off), so downstream layers can parent their
+// spans to it.
+func (r *Request) TraceRef() trace.Ref { return r.tref }
 
 // Advice is the Advisor's verdict for one invocation.
 type Advice struct {
@@ -301,6 +311,10 @@ type Platform struct {
 	// re-executions (overload control hooks; nil = unbounded).
 	Admission AdmissionController
 	Retry     RetryPolicy
+	// Tracer records per-invocation spans (nil = tracing off; every
+	// call through a nil tracer fast-paths out without allocating).
+	// Like the other hooks, set it before traffic starts.
+	Tracer *trace.Tracer
 	// MonitorEnabled turns on the §5.3 in-flight memory rescue.
 	MonitorEnabled bool
 

@@ -21,14 +21,24 @@ type PipelineAware interface {
 // simulation process.
 func (p *Platform) Invoke(req *Request) *Result {
 	res := &Result{Start: p.env.Now()}
-	p.stats.invocations.Add(1)
+	idx := p.stats.invocations.Add(1)
+
+	// The root span of the invocation's trace. Every tracer call below
+	// is nil-safe: with tracing off, root is the inert zero Span and
+	// req.tref stays zero.
+	tr := p.Tracer
+	root := tr.Begin(tr.InvocationTrace(idx), 0, "invoke", p.ctrl)
+	req.tref = root.Ref()
 
 	fn := req.Function
 	if fn == nil {
 		res.Err = ErrUnregistered
 		res.End = p.env.Now()
+		root.SetNum("err", 1)
+		tr.End(&root)
 		return res
 	}
+	root.SetStr("fn", fn.ID())
 
 	// Overload gate: queue (or reject) before spending any platform
 	// work. The wait shows up in QueueDelay; a shed invocation is
@@ -36,39 +46,61 @@ func (p *Platform) Invoke(req *Request) *Result {
 	// log stays whole, but it never counts as a platform failure — it
 	// was refused, not broken.
 	if p.Admission != nil {
+		qsp := tr.Begin(root.Trace, root.ID, "queue", p.ctrl)
 		release, err := p.Admission.Admit(req)
 		if err != nil {
+			qsp.SetNum("shed", 1)
+			tr.End(&qsp)
 			p.stats.shed.Add(1)
 			res.Err = err
 			res.End = p.env.Now()
 			res.QueueDelay = time.Duration(res.End - res.Start)
+			root.SetNum("shed", 1)
+			tr.End(&root)
 			p.recordActivation(req, res)
 			if p.Observer != nil {
 				p.Observer.OnComplete(req, res)
 			}
 			return res
 		}
+		tr.End(&qsp)
 		defer release()
 	}
 
 	// Controller receives the request.
 	p.env.Sleep(p.cfg.ControllerOverhead)
 
-	// Consult the Predictor (OFC) before placement.
+	// Consult the Predictor (OFC) before placement. The advice span
+	// covers the §7.2.1 critical-path overhead plus the lookup; the
+	// Predictor's own "predict" span nests under it via req.tref.
 	wanted := fn.MemoryBooked
 	if p.Advisor != nil {
+		asp := tr.Begin(root.Trace, root.ID, "advice", p.ctrl)
+		if asp.ID != 0 {
+			req.tref = asp.Ref()
+		}
 		p.env.Sleep(p.cfg.AdviceOverhead)
 		adv := p.Advisor.Advise(req)
+		req.tref = root.Ref()
 		if adv.Use {
 			req.advised = true
 			req.predMem = clamp(adv.Mem, p.cfg.MinSandboxMem, min64(fn.MemoryBooked, p.cfg.MaxSandboxMem))
 			wanted = req.predMem
+			asp.SetNum("use", 1)
+		} else {
+			asp.SetNum("use", 0)
 		}
 		req.shouldCache = adv.ShouldCache
 		req.benefit = adv.Benefit
+		tr.End(&asp)
 	}
 
-	attempt := p.execute(req, wanted, res)
+	attempts := 0
+	exec := func(w int64) error {
+		attempts++
+		return p.execute(req, w, res, attempts)
+	}
+	attempt := exec(wanted)
 	if errors.Is(attempt, ErrOOM) {
 		// The kill happened regardless of what the retry budget says, so
 		// it is counted unconditionally; only the re-execution is
@@ -81,7 +113,7 @@ func (p *Platform) Invoke(req *Request) *Result {
 			p.stats.retries.Add(1)
 			res.Retried = true
 			req.advised = false
-			attempt = p.execute(req, fn.MemoryBooked, res)
+			attempt = exec(fn.MemoryBooked)
 		} else {
 			p.stats.retryDenied.Add(1)
 			attempt = fmt.Errorf("%w: %w", ErrRetryBudget, attempt)
@@ -97,14 +129,22 @@ func (p *Platform) Invoke(req *Request) *Result {
 			break
 		}
 		p.stats.reroutes.Add(1)
-		attempt = p.execute(req, wanted, res)
+		attempt = exec(wanted)
 	}
 	res.Err = attempt
 	if attempt != nil {
 		p.stats.failures.Add(1)
+		root.SetNum("err", 1)
 	}
 	res.End = p.env.Now()
 	res.QueueDelay = time.Duration(res.End-res.Start) - res.Extract - res.Transform - res.Load
+	if res.Retried {
+		root.SetNum("oomRetry", 1)
+	}
+	if attempts > 1 {
+		root.SetNum("attempts", int64(attempts))
+	}
+	tr.End(&root)
 
 	p.recordActivation(req, res)
 	if p.Observer != nil {
@@ -122,12 +162,27 @@ type PlacementObserver interface {
 }
 
 // execute performs one placement + sandbox acquisition + body run.
-func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
+// attempt is 1 for the first try, higher for OOM retries and reroutes.
+func (p *Platform) execute(req *Request, wanted int64, res *Result, attempt int) error {
 	fn := req.Function
+	tr := p.Tracer
+	esp := tr.Begin(req.tref.Trace, req.tref.Span, "execute", p.ctrl)
+	esp.SetNum("attempt", int64(attempt))
+	qsp := tr.Begin(esp.Trace, esp.ID, "acquire", p.ctrl)
 	inv, sb, cold, scale, err := p.acquire(req, wanted)
 	if err != nil {
+		qsp.SetNum("err", 1)
+		tr.End(&qsp)
+		esp.SetNum("err", 1)
+		tr.End(&esp)
 		return err
 	}
+	qsp.Node = inv.node.ID
+	if cold {
+		qsp.SetNum("cold", 1)
+	}
+	tr.End(&qsp)
+	esp.Node = inv.node.ID
 	if po, ok := p.Observer.(PlacementObserver); ok {
 		po.OnPlaced(inv.node.ID)
 	}
@@ -141,7 +196,7 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 		p.stats.warmStarts.Add(1)
 	}
 
-	ctx := &Ctx{p: p, inv: inv, sb: sb, req: req, execStart: p.env.Now()}
+	ctx := &Ctx{p: p, inv: inv, sb: sb, req: req, execStart: p.env.Now(), tref: esp.Ref()}
 	err = fn.Body(ctx)
 
 	res.Extract += ctx.extract
@@ -164,11 +219,15 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 	if errors.Is(err, ErrOOM) {
 		// The OOM killer took the container down with the invocation.
 		inv.destroySandbox(sb)
+		esp.SetNum("oom", 1)
+		tr.End(&esp)
 		return ErrOOM
 	}
 	if inv.Down() {
 		// The node died under the invocation: its sandbox and any
 		// result are gone; the caller reroutes.
+		esp.SetNum("invokerDown", 1)
+		tr.End(&esp)
 		return ErrInvokerDown
 	}
 	inv.parkSandbox(sb)
@@ -180,6 +239,7 @@ func (p *Platform) execute(req *Request, wanted int64, res *Result) error {
 			pa.PipelineDone(req.Pipeline)
 		}
 	}
+	tr.End(&esp)
 	return err
 }
 

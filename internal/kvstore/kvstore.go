@@ -27,6 +27,7 @@ import (
 
 	"ofc/internal/sim"
 	"ofc/internal/simnet"
+	"ofc/internal/trace"
 )
 
 // Blob is an object payload. Data may be nil for synthetic payloads
@@ -213,7 +214,15 @@ type Cluster struct {
 	// atomics keep the data plane off the stats mutex.
 	coordRPCs  atomic.Int64
 	serverRPCs atomic.Int64
+
+	// tracer records kv.read/kv.write (and multi) coordinator RPC
+	// spans as trace-0 roots; nil = off. Set before traffic starts.
+	tracer *trace.Tracer
 }
+
+// SetTracer attaches a span recorder to the coordinator RPC surface.
+// Call before traffic starts; the field is read without synchronization.
+func (c *Cluster) SetTracer(tr *trace.Tracer) { c.tracer = tr }
 
 // New creates a cluster whose coordinator runs on coordNode.
 func New(net *simnet.Network, coordNode simnet.NodeID, cfg Config) *Cluster {

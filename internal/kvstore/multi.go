@@ -61,6 +61,27 @@ func groupAppend(groups []idxGroup, node simnet.NodeID, i int) []idxGroup {
 // (bulk) response exchange per involved server. Per-key failures are
 // reported individually in the result slice.
 func (c *Cluster) ReadMulti(caller simnet.NodeID, keys []string) []ReadResult {
+	if c.tracer == nil {
+		return c.doReadMulti(caller, keys)
+	}
+	sp := c.tracer.Begin(0, 0, "kv.readmulti", caller)
+	sp.SetNum("keys", int64(len(keys)))
+	out := c.doReadMulti(caller, keys)
+	errs := int64(0)
+	for i := range out {
+		if out[i].Err != nil {
+			errs++
+		}
+	}
+	if errs > 0 {
+		sp.SetNum("err", errs)
+	}
+	c.tracer.End(&sp)
+	return out
+}
+
+// doReadMulti is ReadMulti's body (the wrapper owns the span).
+func (c *Cluster) doReadMulti(caller simnet.NodeID, keys []string) []ReadResult {
 	out := make([]ReadResult, len(keys))
 	if len(keys) == 0 {
 		return out
@@ -153,6 +174,27 @@ func (c *Cluster) readGroup(caller, master simnet.NodeID, keys []string, idxs []
 // (ErrNoSpace, ErrTooLarge) are reported individually; placement of a
 // failed brand-new object is rolled back as in Write.
 func (c *Cluster) WriteMulti(caller simnet.NodeID, items []WriteItem, preferred simnet.NodeID) []WriteResult {
+	if c.tracer == nil {
+		return c.doWriteMulti(caller, items, preferred)
+	}
+	sp := c.tracer.Begin(0, 0, "kv.writemulti", caller)
+	sp.SetNum("keys", int64(len(items)))
+	out := c.doWriteMulti(caller, items, preferred)
+	errs := int64(0)
+	for i := range out {
+		if out[i].Err != nil {
+			errs++
+		}
+	}
+	if errs > 0 {
+		sp.SetNum("err", errs)
+	}
+	c.tracer.End(&sp)
+	return out
+}
+
+// doWriteMulti is WriteMulti's body (the wrapper owns the span).
+func (c *Cluster) doWriteMulti(caller simnet.NodeID, items []WriteItem, preferred simnet.NodeID) []WriteResult {
 	out := make([]WriteResult, len(items))
 	if len(items) == 0 {
 		return out

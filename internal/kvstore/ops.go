@@ -11,6 +11,21 @@ import (
 // durable once all backups have buffered it, matching RAMCloud's
 // commit point. Returns the new version.
 func (c *Cluster) Write(caller simnet.NodeID, key string, blob Blob, tags map[string]string, preferred simnet.NodeID) (uint64, error) {
+	if c.tracer == nil {
+		return c.doWrite(caller, key, blob, tags, preferred)
+	}
+	sp := c.tracer.Begin(0, 0, "kv.write", caller)
+	sp.SetNum("bytes", blob.Size)
+	ver, err := c.doWrite(caller, key, blob, tags, preferred)
+	if err != nil {
+		sp.SetNum("err", 1)
+	}
+	c.tracer.End(&sp)
+	return ver, err
+}
+
+// doWrite is Write's body (the wrapper owns the span).
+func (c *Cluster) doWrite(caller simnet.NodeID, key string, blob Blob, tags map[string]string, preferred simnet.NodeID) (uint64, error) {
 	if blob.Size > c.cfg.MaxObjectSize {
 		return 0, ErrTooLarge
 	}
@@ -166,6 +181,22 @@ func cloneTags(tags map[string]string) map[string]string {
 // Read fetches key's payload from its master, updating the OFC access
 // statistics.
 func (c *Cluster) Read(caller simnet.NodeID, key string) (Blob, Meta, error) {
+	if c.tracer == nil {
+		return c.doRead(caller, key)
+	}
+	sp := c.tracer.Begin(0, 0, "kv.read", caller)
+	blob, meta, err := c.doRead(caller, key)
+	if err != nil {
+		sp.SetNum("err", 1)
+	} else {
+		sp.SetNum("bytes", blob.Size)
+	}
+	c.tracer.End(&sp)
+	return blob, meta, err
+}
+
+// doRead is Read's body (the wrapper owns the span).
+func (c *Cluster) doRead(caller simnet.NodeID, key string) (Blob, Meta, error) {
 	p, ok, lerr := c.lookup(caller, key)
 	if lerr != nil {
 		return Blob{}, Meta{}, lerr

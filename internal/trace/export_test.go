@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"ofc/internal/sim"
+)
+
+func ms(v int) sim.Time { return sim.Time(v) * sim.Time(time.Millisecond) }
+
+// twoRunForest builds the same logical trace twice with different raw
+// ID interleavings — the artifact a host scheduler can produce when
+// two sim processes allocate IDs between blocking points.
+func twoRunForest() (runA, runB []Span) {
+	// Logical content: invocation trace 7 with root "invoke" [0,10]
+	// containing "cache.get" [1,4]; control trace 0 with root
+	// "kv.read" [2,5]. Run A allocates the kv span last; run B
+	// allocates it between the invoke spans.
+	runA = []Span{
+		{Trace: 7, ID: 1, Parent: 0, Name: "invoke", Node: 1, Start: ms(0), End: ms(10)},
+		{Trace: 7, ID: 2, Parent: 1, Name: "cache.get", Node: 1, Start: ms(1), End: ms(4)},
+		{Trace: 0, ID: 3, Parent: 0, Name: "kv.read", Node: 2, Start: ms(2), End: ms(5)},
+	}
+	runB = []Span{
+		{Trace: 7, ID: 1, Parent: 0, Name: "invoke", Node: 1, Start: ms(0), End: ms(10)},
+		{Trace: 0, ID: 2, Parent: 0, Name: "kv.read", Node: 2, Start: ms(2), End: ms(5)},
+		{Trace: 7, ID: 3, Parent: 1, Name: "cache.get", Node: 1, Start: ms(1), End: ms(4)},
+	}
+	return runA, runB
+}
+
+// TestExportChromeDeterministic is the canonicalization contract: raw
+// ID allocation order must not leak into exported bytes.
+func TestExportChromeDeterministic(t *testing.T) {
+	runA, runB := twoRunForest()
+	var a, b bytes.Buffer
+	if err := ExportChrome(&a, runA); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportChrome(&b, runB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("export depends on raw ID order:\n--- run A ---\n%s\n--- run B ---\n%s", a.String(), b.String())
+	}
+}
+
+func TestCanonicalizeStructure(t *testing.T) {
+	_, runB := twoRunForest()
+	canon := Canonicalize(runB)
+	if len(canon) != len(runB) {
+		t.Fatalf("canonicalize changed span count: %d != %d", len(canon), len(runB))
+	}
+	// DFS pre-order renumbering: IDs are 1..n, parents precede and are
+	// smaller than children.
+	pos := make(map[SpanID]int)
+	for i := range canon {
+		if want := SpanID(i + 1); canon[i].ID != want {
+			t.Fatalf("span %d has ID %d, want %d", i, canon[i].ID, want)
+		}
+		pos[canon[i].ID] = i
+	}
+	for i := range canon {
+		if p := canon[i].Parent; p != 0 {
+			j, ok := pos[p]
+			if !ok || j >= i || canon[j].Trace != canon[i].Trace {
+				t.Fatalf("span %d (%s) has bad parent link %d", canon[i].ID, canon[i].Name, p)
+			}
+		}
+	}
+	if err := Validate(canon); err != nil {
+		t.Fatalf("canonical trace invalid: %v", err)
+	}
+	// Content preserved: same multiset of (trace,name,start,end).
+	key := func(sp *Span) string {
+		var b strings.Builder
+		b.WriteString(sp.Name)
+		b.WriteByte('|')
+		b.WriteString(sp.Start.String())
+		b.WriteByte('|')
+		b.WriteString(sp.End.String())
+		return b.String()
+	}
+	want := map[string]int{}
+	for i := range runB {
+		want[key(&runB[i])]++
+	}
+	for i := range canon {
+		want[key(&canon[i])]--
+	}
+	for k, v := range want {
+		if v != 0 {
+			t.Fatalf("canonicalize altered span content (%s: %+d)", k, v)
+		}
+	}
+}
+
+// TestExportChromeWellFormedJSON: the hand-built exporter must emit
+// parseable JSON with the trace_event fields viewers expect.
+func TestExportChromeWellFormedJSON(t *testing.T) {
+	env := sim.NewEnv(1)
+	tr := New(env, Config{Seed: 42})
+	root := tr.Begin(tr.InvocationTrace(1), 0, "invoke", 3)
+	root.SetStr("fn", "t/\"quoted\"")
+	root.SetNum("attempt", 1)
+	child := tr.Begin(root.Trace, root.ID, "cache.get", 3)
+	tr.End(&child)
+	tr.End(&root)
+
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  string         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emits invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != "invoke" || ev.Ph != "X" || ev.Pid != 3 {
+		t.Fatalf("root event wrong: %+v", ev)
+	}
+	if ev.Args["fn"] != "t/\"quoted\"" {
+		t.Fatalf("string attr not round-tripped: %v", ev.Args["fn"])
+	}
+	if ev.Args["attempt"] != float64(1) {
+		t.Fatalf("num attr not round-tripped: %v", ev.Args["attempt"])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Span{
+		{Trace: 7, ID: 1, Name: "invoke", Start: ms(0), End: ms(10)},
+		{Trace: 7, ID: 2, Parent: 1, Name: "queue", Start: ms(0), End: ms(2)},
+		{Trace: 7, ID: 3, Parent: 1, Name: "execute", Start: ms(2), End: ms(9)},
+		{Trace: 7, ID: 4, Parent: 3, Name: "extract", Start: ms(2), End: ms(4)},
+	}
+	if err := Validate(good); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+
+	bad := []struct {
+		name  string
+		spans []Span
+		frag  string
+	}{
+		{"zero_id", []Span{{Trace: 1, Name: "x"}}, "zero ID"},
+		{"dup_id", []Span{
+			{Trace: 1, ID: 1, Name: "a", Start: ms(0), End: ms(1)},
+			{Trace: 1, ID: 1, Name: "b", Start: ms(0), End: ms(1)},
+		}, "duplicate"},
+		{"ends_before_start", []Span{
+			{Trace: 1, ID: 1, Name: "a", Start: ms(5), End: ms(1)},
+		}, "before it starts"},
+		{"unknown_parent", []Span{
+			{Trace: 1, ID: 2, Parent: 9, Name: "a", Start: ms(0), End: ms(1)},
+		}, "unknown parent"},
+		{"cross_trace_parent", []Span{
+			{Trace: 1, ID: 1, Name: "a", Start: ms(0), End: ms(9)},
+			{Trace: 2, ID: 2, Parent: 1, Name: "b", Start: ms(1), End: ms(2)},
+		}, "crosses traces"},
+		{"parent_after_child", []Span{
+			{Trace: 1, ID: 2, Name: "a", Start: ms(0), End: ms(9)},
+			{Trace: 1, ID: 1, Parent: 2, Name: "b", Start: ms(1), End: ms(2)},
+		}, "allocated after"},
+		{"escapes_parent", []Span{
+			{Trace: 1, ID: 1, Name: "a", Start: ms(0), End: ms(5)},
+			{Trace: 1, ID: 2, Parent: 1, Name: "b", Start: ms(3), End: ms(7)},
+		}, "escapes parent"},
+		{"children_oversum", []Span{
+			{Trace: 1, ID: 1, Name: "a", Start: ms(0), End: ms(10)},
+			{Trace: 1, ID: 2, Parent: 1, Name: "b", Start: ms(0), End: ms(8)},
+			{Trace: 1, ID: 3, Parent: 1, Name: "c", Start: ms(2), End: ms(10)},
+		}, "sum to"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			err := Validate(tc.spans)
+			if err == nil {
+				t.Fatal("malformed trace accepted")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not mention %q", err, tc.frag)
+			}
+		})
+	}
+}

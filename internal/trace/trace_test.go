@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"ofc/internal/sim"
+)
+
+// TestDisabledPathZeroAlloc pins the contract every instrumented hot
+// path relies on: with tracing off (nil tracer), Begin/SetNum/SetStr/
+// End/Ref allocate nothing.
+func TestDisabledPathZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(tr.InvocationTrace(7), 0, "invoke", 1)
+		sp.SetNum("hit", 1)
+		sp.SetStr("fn", "t/blur")
+		child := tr.Begin(sp.Ref().Trace, sp.Ref().Span, "cache.get", 2)
+		tr.End(&child)
+		tr.End(&sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracer path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEnabledPathZeroAlloc: recording itself is also allocation-free —
+// spans are values copied into preallocated shard slots.
+func TestEnabledPathZeroAlloc(t *testing.T) {
+	tr := New(sim.NewEnv(1), Config{Seed: 1, Shards: 1, ShardCap: 8192})
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Begin(tr.InvocationTrace(7), 0, "invoke", 1)
+		sp.SetNum("hit", 1)
+		tr.End(&sp)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled record path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestDeriveTraceID(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for seed := int64(0); seed < 4; seed++ {
+		for idx := int64(0); idx < 1000; idx++ {
+			id := DeriveTraceID(seed, idx)
+			if id == 0 {
+				t.Fatalf("DeriveTraceID(%d,%d) = 0", seed, idx)
+			}
+			if seen[id] {
+				t.Fatalf("DeriveTraceID(%d,%d) collides", seed, idx)
+			}
+			seen[id] = true
+		}
+	}
+	if DeriveTraceID(5, 9) != DeriveTraceID(5, 9) {
+		t.Fatal("DeriveTraceID not a pure function")
+	}
+}
+
+func TestNilTracerInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.InvocationTrace(3) != 0 {
+		t.Fatal("nil tracer derives a trace ID")
+	}
+	sp := tr.Begin(1, 0, "x", 0)
+	if sp.ID != 0 {
+		t.Fatal("nil tracer began a live span")
+	}
+	sp.SetNum("k", 1)
+	sp.SetStr("k", "v")
+	if len(sp.Attrs()) != 0 {
+		t.Fatal("zero span accepted attributes")
+	}
+	if sp.Ref() != (Ref{}) {
+		t.Fatal("zero span has a non-zero ref")
+	}
+	tr.End(&sp)
+	if tr.Len() != 0 || tr.Drops() != 0 || tr.Snapshot() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	tr.Reset() // must not panic
+}
+
+func TestSpanAttrsBounded(t *testing.T) {
+	tr := New(sim.NewEnv(1), Config{})
+	sp := tr.Begin(1, 0, "x", 0)
+	for i := 0; i < maxAttrs+3; i++ {
+		sp.SetNum("k", int64(i))
+	}
+	if got := len(sp.Attrs()); got != maxAttrs {
+		t.Fatalf("attrs grew to %d, want capped at %d", got, maxAttrs)
+	}
+}
+
+// TestDropCounterAccuracy: a full shard counts every discarded span,
+// exactly.
+func TestDropCounterAccuracy(t *testing.T) {
+	tr := New(sim.NewEnv(1), Config{Seed: 1, Shards: 1, ShardCap: 128})
+	const total = 200
+	for i := 0; i < total; i++ {
+		sp := tr.Begin(1, 0, "x", 0)
+		tr.End(&sp)
+	}
+	if got := tr.Len(); got != 128 {
+		t.Fatalf("Len = %d, want 128", got)
+	}
+	if got := tr.Drops(); got != total-128 {
+		t.Fatalf("Drops = %d, want %d", got, total-128)
+	}
+	if got := len(tr.Snapshot()); got != 128 {
+		t.Fatalf("Snapshot holds %d spans, want 128", got)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Drops() != 0 {
+		t.Fatal("Reset did not clear buffers")
+	}
+	sp := tr.Begin(1, 0, "y", 0)
+	tr.End(&sp)
+	if tr.Len() != 1 {
+		t.Fatal("tracer unusable after Reset")
+	}
+}
+
+// TestRecorderStress hammers the recorder from 64 goroutines recording
+// 10k spans each; run under -race this pins the lock-free claim/write
+// protocol. Capacity is sized so both the keep and the drop paths are
+// exercised, and kept+dropped must account for every span.
+func TestRecorderStress(t *testing.T) {
+	const (
+		goroutines = 64
+		perG       = 10000
+	)
+	tr := New(sim.NewEnv(1), Config{Seed: 1, Shards: 8, ShardCap: 8192})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tid := tr.InvocationTrace(int64(g))
+			for i := 0; i < perG; i++ {
+				sp := tr.Begin(tid, 0, "stress", 0)
+				sp.SetNum("i", int64(i))
+				tr.End(&sp)
+			}
+		}(g)
+	}
+	wg.Wait()
+	kept, dropped := int64(tr.Len()), tr.Drops()
+	if kept+dropped != goroutines*perG {
+		t.Fatalf("kept %d + dropped %d != recorded %d", kept, dropped, goroutines*perG)
+	}
+	if dropped == 0 {
+		t.Fatal("stress never overflowed a shard; shrink ShardCap to exercise drops")
+	}
+	snap := tr.Snapshot()
+	if int64(len(snap)) != kept {
+		t.Fatalf("Snapshot %d != Len %d", len(snap), kept)
+	}
+	seen := make(map[SpanID]bool, len(snap))
+	for i := range snap {
+		if snap[i].ID == 0 {
+			t.Fatal("snapshot contains an unwritten slot")
+		}
+		if seen[snap[i].ID] {
+			t.Fatalf("span ID %d recorded twice", snap[i].ID)
+		}
+		seen[snap[i].ID] = true
+	}
+}
